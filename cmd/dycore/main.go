@@ -1,0 +1,153 @@
+// Command dycore runs one configuration of the dynamical core — algorithm,
+// mesh, process grid, step count — and reports communication statistics and
+// physical diagnostics. It is the workhorse for exploring a single cell of
+// the experiment matrix.
+//
+// Usage:
+//
+//	dycore [-alg ca|yz|xy] [-nx N -ny N -nz N] [-pa N -pb N] [-m M]
+//	       [-steps K] [-dt1 s -dt2 s] [-hs] [-exactc] [-nooverlap] [-nofuse]
+//
+// For -alg yz/ca the process grid is p_y × p_z = pa × pb; for -alg xy it is
+// p_x × p_y.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cadycore/internal/checkpoint"
+	"cadycore/internal/comm"
+	"cadycore/internal/diag"
+	"cadycore/internal/dycore"
+	"cadycore/internal/grid"
+	"cadycore/internal/heldsuarez"
+	"cadycore/internal/state"
+	"cadycore/internal/trace"
+)
+
+func main() {
+	alg := flag.String("alg", "ca", "algorithm: ca (communication-avoiding), yz, xy (original)")
+	nx := flag.Int("nx", 120, "mesh points in longitude")
+	ny := flag.Int("ny", 60, "mesh points in latitude")
+	nz := flag.Int("nz", 16, "mesh levels")
+	pa := flag.Int("pa", 2, "first process-grid extent (p_y, or p_x for -alg xy)")
+	pb := flag.Int("pb", 2, "second process-grid extent (p_z, or p_y for -alg xy)")
+	m := flag.Int("m", 3, "nonlinear iterations per step")
+	steps := flag.Int("steps", 4, "time steps")
+	dt1 := flag.Float64("dt1", 30, "adaptation time step (s)")
+	dt2 := flag.Float64("dt2", 180, "advection time step (s)")
+	hs := flag.Bool("hs", true, "apply Held-Suarez forcing between steps")
+	exactC := flag.Bool("exactc", false, "ablation: disable the approximate nonlinear iteration")
+	noOverlap := flag.Bool("nooverlap", false, "ablation: disable computation/communication overlap")
+	noFuse := flag.Bool("nofuse", false, "ablation: disable the fused former/later smoothing")
+	timeline := flag.Bool("timeline", false, "print a per-rank ASCII timeline of the simulated run")
+	shiftPoles := flag.Bool("shiftpoles", false, "exact (antipodal-meridian) pole mirror; requires p_x = 1")
+	saveFile := flag.String("save", "", "write a restart checkpoint to this file at the end")
+	loadFile := flag.String("load", "", "initialize from a restart checkpoint instead of the H-S initial state")
+	flag.Parse()
+
+	cfg := dycore.DefaultConfig()
+	cfg.M = *m
+	cfg.Dt1, cfg.Dt2 = *dt1, *dt2
+	cfg.ExactC, cfg.NoOverlap, cfg.NoFusedSmoothing = *exactC, *noOverlap, *noFuse
+	cfg.ShiftedPoleMirror = *shiftPoles
+
+	var a dycore.Algorithm
+	switch *alg {
+	case "ca":
+		a = dycore.AlgCommAvoid
+	case "yz":
+		a = dycore.AlgBaselineYZ
+	case "xy":
+		a = dycore.AlgBaselineXY
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -alg:", *alg)
+		os.Exit(2)
+	}
+	set := dycore.Setup{Alg: a, PA: *pa, PB: *pb, Cfg: cfg}
+	g := grid.New(*nx, *ny, *nz)
+
+	var hook dycore.StepHook
+	if *hs {
+		f := heldsuarez.Standard()
+		hook = func(g *grid.Grid, st *state.State, step int) { f.Apply(g, st, cfg.Dt2) }
+	}
+
+	init := dycore.InitFunc(heldsuarez.InitialState)
+	if *loadFile != "" {
+		fh, err := os.Open(*loadFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+		snap, err := checkpoint.Read(fh)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+		init = snap.InitFunc()
+		fmt.Printf("restarting from %s\n", *loadFile)
+	}
+
+	fmt.Printf("%s on %s, process grid %dx%d (%d ranks), M=%d, %d steps\n",
+		a, g, *pa, *pb, set.Procs(), cfg.M, *steps)
+
+	var res dycore.RunResult
+	var rec *comm.Recorder
+	if *timeline {
+		res, rec = dycore.RunTraced(set, g, comm.TianheLike(), init, *steps, hook)
+	} else {
+		res = dycore.RunWithHook(set, g, comm.TianheLike(), init, *steps, hook)
+	}
+
+	if *saveFile != "" {
+		snap := checkpoint.Gather(g, res.Finals)
+		fh, err := os.Create(*saveFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+			os.Exit(1)
+		}
+		if err := snap.Write(fh); err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+			os.Exit(1)
+		}
+		if err := fh.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *saveFile)
+	}
+
+	fmt.Printf("\n-- algorithm counters (rank 0) --\n")
+	fmt.Printf("halo exchange rounds: %d\n", res.Count.HaloExchanges)
+	fmt.Printf("C-evaluations (z-collectives): %d\n", res.Count.CEvaluations)
+	fmt.Printf("filter applications: %d\n", res.Count.FilterCalls)
+
+	fmt.Printf("\n-- communication (all ranks) --\n")
+	fmt.Printf("messages sent: %d, bytes sent: %.3g MB\n",
+		res.Agg.MsgsSent, float64(res.Agg.BytesSent)/1e6)
+	fmt.Printf("collective ops entered: %d\n", res.Agg.Collectives)
+	for _, cat := range comm.Categories() {
+		fmt.Printf("  %-14s time %.4g s  msgs %d\n", cat, res.Agg.CommTime(cat), res.Agg.MsgsByCat[cat])
+	}
+	fmt.Printf("simulated total runtime: %.4g s (compute %.4g s)\n", res.Agg.SimTime, res.Agg.CompTimeMax)
+
+	if rec != nil {
+		fmt.Printf("\n-- simulated timeline --\n")
+		fmt.Print(trace.Render(rec, 110).Format())
+		u := trace.Utilization(rec)
+		fmt.Printf("utilization: compute %.0f%%, communication %.0f%%, idle %.0f%%\n",
+			100*u["compute"], 100*u["comm"], 100*u["idle"])
+	}
+
+	fmt.Printf("\n-- physical diagnostics --\n")
+	fmt.Printf("all finite: %v\n", diag.AllFinite(res.Finals))
+	fmt.Printf("mean surface pressure: %.2f hPa\n", diag.MeanSurfacePressure(g, res.Finals)/100)
+	fmt.Printf("global dry mass: %.6g kg\n", diag.GlobalDryMass(g, res.Finals))
+	fmt.Printf("max wind: %.2f m/s\n", diag.MaxWind(g, res.Finals))
+	fmt.Printf("kinetic energy: %.6g, available energy: %.6g\n",
+		diag.KineticEnergy(g, res.Finals), diag.AvailableEnergy(g, res.Finals))
+}

@@ -1,0 +1,111 @@
+// Gravity-wave example: why the dynamical core runs the adaptation process
+// M times with Δt1 ≪ Δt2. A compact geopotential anomaly radiates external
+// gravity waves at roughly the tensor transform's design speed b = 87.8 m/s
+// — the fastest signal in the model, which sets the adaptation CFL limit.
+// This demo drops a warm pulse on the equator, integrates, and prints the
+// surface-pressure wave front spreading away from the source.
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/dycore"
+	"cadycore/internal/grid"
+	"cadycore/internal/physics"
+	"cadycore/internal/testcases"
+)
+
+func main() {
+	g := grid.New(96, 24, 6)
+	lam0 := math.Pi
+	init := testcases.GravityWavePulse(8, 0.22, lam0)
+
+	cfg := dycore.DefaultConfig()
+	cfg.Dt1, cfg.Dt2 = 50, 300
+	set := dycore.Setup{Alg: dycore.AlgCommAvoid, PA: 2, PB: 2, Cfg: cfg}
+
+	fmt.Printf("warm pulse at λ=180° on the equator, %s\n", g)
+	fmt.Printf("expected front speed: near b = %.1f m/s (one grid cell ≈ %.0f s)\n\n",
+		physics.B, physics.EarthRadius*g.DLambda/physics.B)
+
+	jEq := g.Ny / 2
+	var prevFront float64
+	var prevT float64
+	for _, steps := range []int{10, 30, 60, 90, 120} {
+		res := dycore.Run(set, g, comm.Zero(), dycore.InitFunc(init), steps)
+
+		// Assemble the equatorial psa row from the rank states.
+		row := make([]float64, g.Nx)
+		for _, st := range res.Finals {
+			b := st.B
+			if jEq < b.J0 || jEq >= b.J1 || b.K0 != 0 {
+				continue
+			}
+			for i := 0; i < g.Nx; i++ {
+				row[i] = st.Psa.At(i, jEq)
+			}
+		}
+		maxA := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > maxA {
+				maxA = a
+			}
+		}
+		front := 0.0
+		for i, v := range row {
+			if math.Abs(v) > 0.2*maxA {
+				d := math.Abs(angDist(g.Lambda[i], lam0))
+				if d > front {
+					front = d
+				}
+			}
+		}
+		frontM := front * physics.EarthRadius * g.SinC[jEq]
+		tNow := float64(steps) * cfg.Dt2
+		speed := 0.0
+		if prevT > 0 {
+			speed = (frontM - prevFront) / (tNow - prevT)
+		}
+		fmt.Printf("t=%5.0f min  |psa|max=%7.1f Pa  front=%6.0f km", tNow/60, maxA, frontM/1e3)
+		if speed != 0 {
+			fmt.Printf("  speed since last ≈ %5.1f m/s", speed)
+		}
+		fmt.Println()
+		fmt.Println("   " + sparkline(row))
+		prevFront, prevT = frontM, tNow
+	}
+	fmt.Println("\nthe front advances at the gravity-wave speed while the anomaly")
+	fmt.Println("deepens in place — the 'adaptation' of the mass and wind fields the")
+	fmt.Println("paper's fast inner iteration (F̃ĈÂ with Δt1) exists to resolve.")
+}
+
+// sparkline renders the psa row as a coarse ASCII profile.
+func sparkline(row []float64) string {
+	maxA := 1e-12
+	for _, v := range row {
+		if a := math.Abs(v); a > maxA {
+			maxA = a
+		}
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	for i := 0; i < len(row); i += 2 {
+		level := (row[i]/maxA + 1) / 2 * float64(len(glyphs)-1)
+		sb.WriteRune(glyphs[int(level+0.5)])
+	}
+	return sb.String()
+}
+
+func angDist(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}

@@ -1,0 +1,59 @@
+// Polar-filter example: why the dynamical core Fourier-filters high
+// latitudes, and what the filter does. Builds a field with energy across
+// all zonal wavenumbers, applies F̃, and prints the per-latitude wavenumber
+// cutoffs and the retained spectra — plus the CFL arithmetic that motivates
+// it (meridian convergence shrinks Δx by sinθ, the filter compensates).
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"cadycore/internal/fft"
+	"cadycore/internal/field"
+	"cadycore/internal/filter"
+	"cadycore/internal/grid"
+	"cadycore/internal/physics"
+)
+
+func main() {
+	g := grid.New(128, 32, 2)
+	f := filter.New(g, 60) // filter poleward of 60°
+
+	fmt.Println("latitude-dependent zonal wavenumber cutoff m_max(θ):")
+	fmt.Printf("%10s%12s%12s%14s%16s\n", "lat (°)", "m_max", "filtered?", "Δx (km)", "CFL dt (s, 100m/s)")
+	for j := 0; j < g.Ny; j += 2 {
+		dx := physics.EarthRadius * g.SinC[j] * g.DLambda
+		fmt.Printf("%10.1f%12d%12v%14.1f%16.1f\n",
+			g.LatitudeDeg(j), f.MMax(j), f.Active(j), dx/1e3, dx/100)
+	}
+
+	// A test field: equal-amplitude waves at m = 2, 10, 40.
+	b := field.Block{Nx: g.Nx, Ny: g.Ny, Nz: 2, I0: 0, I1: g.Nx, J0: 0, J1: g.Ny, K0: 0, K1: 2, Hx: 0, Hy: 0, Hz: 0}
+	fld := field.NewF3(b)
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			lam := g.Lambda[i]
+			fld.Set(i, j, 0, math.Sin(2*lam)+math.Sin(10*lam)+math.Sin(40*lam))
+		}
+	}
+
+	f.Apply(fld, b.Owned())
+
+	fmt.Println("\nretained spectral amplitude after filtering (waves m = 2, 10, 40):")
+	fmt.Printf("%10s%10s%10s%10s\n", "lat (°)", "m=2", "m=10", "m=40")
+	plan := fft.NewPlan(g.Nx)
+	row := make([]float64, g.Nx)
+	for _, j := range []int{0, 2, 5, 10, 15} {
+		base := fld.Index(0, j, 0)
+		copy(row, fld.Data[base:base+g.Nx])
+		coef := plan.ForwardReal(row, nil)
+		amp := func(m int) float64 { return 2 * cmplx.Abs(coef[m]) / float64(g.Nx) }
+		fmt.Printf("%10.1f%10.2f%10.2f%10.2f\n", g.LatitudeDeg(j), amp(2), amp(10), amp(40))
+	}
+	fmt.Println("\nnear the pole only the gravest waves survive; equatorward of the")
+	fmt.Println("cutoff the field passes through bit-identically. Under the Y-Z")
+	fmt.Println("decomposition (p_x = 1) all of this is rank-local: the filter costs")
+	fmt.Println("no communication at all (paper Section 4.2.1, Theorem 4.1).")
+}

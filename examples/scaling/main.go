@@ -1,0 +1,78 @@
+// Scaling example: run the three algorithms of the paper — original X-Y,
+// original Y-Z, communication-avoiding — on the same mesh and rank count,
+// and print the communication breakdown side by side: the in-miniature
+// version of the paper's Figures 6–8.
+package main
+
+import (
+	"fmt"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/dycore"
+	"cadycore/internal/grid"
+	"cadycore/internal/harness"
+	"cadycore/internal/heldsuarez"
+	"cadycore/internal/state"
+)
+
+func main() {
+	const p = 16
+	g := grid.New(96, 48, 12)
+	cfg := dycore.DefaultConfig()
+	cfg.Dt1, cfg.Dt2 = 30, 180
+	const steps = 2
+
+	hs := heldsuarez.Standard()
+	hook := func(g *grid.Grid, st *state.State, step int) { hs.Apply(g, st, cfg.Dt2) }
+
+	fmt.Printf("three algorithms on %s at p = %d, %d steps, Held-Suarez workload\n\n", g, p, steps)
+	fmt.Printf("%-16s%12s%12s%14s%14s%12s%10s\n",
+		"algorithm", "exchanges", "z-colls", "collective(s)", "stencil(s)", "total(s)", "msgs")
+
+	type row struct {
+		name                     string
+		res                      dycore.RunResult
+	}
+	var rows []row
+	for _, alg := range []dycore.Algorithm{dycore.AlgBaselineXY, dycore.AlgBaselineYZ, dycore.AlgCommAvoid} {
+		var set dycore.Setup
+		if alg == dycore.AlgBaselineXY {
+			px, py, ok := harness.XYFactors(p, g.Nx, g.Ny)
+			if !ok {
+				continue
+			}
+			set = dycore.Setup{Alg: alg, PA: px, PB: py, Cfg: cfg}
+		} else {
+			py, pz, ok := harness.YZFactors(p, g.Ny, g.Nz)
+			if !ok {
+				continue
+			}
+			set = dycore.Setup{Alg: alg, PA: py, PB: pz, Cfg: cfg}
+		}
+		res := dycore.RunWithHook(set, g, comm.TianheLike(), heldsuarez.InitialState, steps, hook)
+		rows = append(rows, row{alg.String(), res})
+		fmt.Printf("%-16s%12d%12d%14.5g%14.5g%12.5g%10d\n",
+			alg.String(), res.Count.HaloExchanges, res.Count.CEvaluations,
+			res.Agg.CollectiveTime(), res.Agg.StencilTime(), res.Agg.SimTime, res.Agg.MsgsSent)
+	}
+
+	if len(rows) == 3 {
+		xy, yz, ca := rows[0].res, rows[1].res, rows[2].res
+		fmt.Printf("\npaper's headline comparisons at this scale:\n")
+		fmt.Printf("  CA vs original-YZ collective speedup: %.2fx (paper avg: 1.4x)\n",
+			safeDiv(yz.Agg.CollectiveTime(), ca.Agg.CollectiveTime()))
+		fmt.Printf("  CA vs original-YZ stencil speedup:    %.2fx (paper avg: 3.9x)\n",
+			safeDiv(yz.Agg.StencilTime(), ca.Agg.StencilTime()))
+		fmt.Printf("  CA total-runtime reduction vs X-Y:    %.0f%% (paper max: 54%%)\n",
+			100*(1-ca.Agg.SimTime/xy.Agg.SimTime))
+		fmt.Printf("  exchange rounds per step: %d -> %d (paper: 13 -> 2 for M=3)\n",
+			(yz.Count.HaloExchanges-1)/int64(steps), (ca.Count.HaloExchanges-2)/int64(steps))
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

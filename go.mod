@@ -1,0 +1,3 @@
+module cadycore
+
+go 1.22

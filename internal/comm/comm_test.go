@@ -1,0 +1,568 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2, Zero())
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, []float64{1, 2, 3})
+		case 1:
+			got := c.Recv(0, 7)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("rank 1 got %v", got)
+			}
+		}
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := NewWorld(2, Zero())
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, 0, buf)
+			buf[0] = -1 // must not affect the message
+		} else {
+			got := c.Recv(0, 0)
+			if got[0] != 42 {
+				t.Errorf("payload aliased sender buffer: got %v", got[0])
+			}
+		}
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	w := NewWorld(2, Zero())
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []float64{5})
+			c.Send(1, 3, []float64{3})
+		} else {
+			// Receive out of send order: tag matching must reorder.
+			if got := c.Recv(0, 3); got[0] != 3 {
+				t.Errorf("tag 3 got %v", got[0])
+			}
+			if got := c.Recv(0, 5); got[0] != 5 {
+				t.Errorf("tag 5 got %v", got[0])
+			}
+		}
+	})
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	w := NewWorld(2, Zero())
+	w.Run(func(c *Comm) {
+		const n = 100
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 1, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if got := c.Recv(0, 1); got[0] != float64(i) {
+					t.Fatalf("message %d arrived as %v", i, got[0])
+				}
+			}
+		}
+	})
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	w := NewWorld(2, Zero())
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			r := c.Isend(1, 2, []float64{9, 8})
+			r.Wait()
+		} else {
+			buf := make([]float64, 2)
+			r := c.Irecv(0, 2, buf)
+			if n := r.Wait(); n != 2 || buf[1] != 8 {
+				t.Errorf("Irecv got n=%d buf=%v", n, buf)
+			}
+		}
+	})
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		w := NewWorld(p, Zero())
+		w.Run(func(c *Comm) {
+			for iter := 0; iter < 3; iter++ {
+				c.Barrier()
+			}
+		})
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 13} {
+		for _, n := range []int{1, 2, 3, 7, 64, 100} {
+			w := NewWorld(p, Zero())
+			w.Run(func(c *Comm) {
+				data := make([]float64, n)
+				for i := range data {
+					data[i] = float64(c.Rank()*n + i)
+				}
+				c.Allreduce(data, Sum)
+				for i := range data {
+					want := 0.0
+					for r := 0; r < p; r++ {
+						want += float64(r*n + i)
+					}
+					if math.Abs(data[i]-want) > 1e-9 {
+						t.Errorf("p=%d n=%d rank=%d elem %d: got %v want %v", p, n, c.Rank(), i, data[i], want)
+						return
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	p := 5
+	w := NewWorld(p, Zero())
+	w.Run(func(c *Comm) {
+		d := []float64{float64(c.Rank()), -float64(c.Rank())}
+		c.Allreduce(d, Max)
+		if d[0] != float64(p-1) || d[1] != 0 {
+			t.Errorf("max got %v", d)
+		}
+		d2 := []float64{float64(c.Rank())}
+		c.Allreduce(d2, Min)
+		if d2[0] != 0 {
+			t.Errorf("min got %v", d2)
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6} {
+		w := NewWorld(p, Zero())
+		w.Run(func(c *Comm) {
+			send := []float64{float64(c.Rank() * 10), float64(c.Rank()*10 + 1)}
+			recv := make([]float64, 2*p)
+			c.Allgather(send, recv)
+			for r := 0; r < p; r++ {
+				if recv[2*r] != float64(r*10) || recv[2*r+1] != float64(r*10+1) {
+					t.Errorf("p=%d rank=%d recv=%v", p, c.Rank(), recv)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestExscan(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		w := NewWorld(p, Zero())
+		w.Run(func(c *Comm) {
+			d := []float64{float64(c.Rank() + 1)} // 1, 2, 3, ...
+			c.Exscan(d, Sum)
+			want := 0.0
+			for r := 0; r < c.Rank(); r++ {
+				want += float64(r + 1)
+			}
+			if d[0] != want {
+				t.Errorf("p=%d rank=%d exscan got %v want %v", p, c.Rank(), d[0], want)
+			}
+		})
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5} {
+		w := NewWorld(p, Zero())
+		w.Run(func(c *Comm) {
+			send := make([][]float64, p)
+			recv := make([][]float64, p)
+			for r := 0; r < p; r++ {
+				send[r] = []float64{float64(c.Rank()*100 + r)}
+				recv[r] = make([]float64, 1)
+			}
+			c.Alltoall(send, recv)
+			for r := 0; r < p; r++ {
+				want := float64(r*100 + c.Rank())
+				if recv[r][0] != want {
+					t.Errorf("p=%d rank=%d from %d: got %v want %v", p, c.Rank(), r, recv[r][0], want)
+				}
+			}
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 9} {
+		for root := 0; root < p; root++ {
+			w := NewWorld(p, Zero())
+			w.Run(func(c *Comm) {
+				d := make([]float64, 3)
+				if c.Rank() == root {
+					d[0], d[1], d[2] = 1, 2, 3
+				}
+				c.Bcast(root, d)
+				if d[0] != 1 || d[2] != 3 {
+					t.Errorf("p=%d root=%d rank=%d got %v", p, root, c.Rank(), d)
+				}
+			})
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7} {
+		w := NewWorld(p, Zero())
+		w.Run(func(c *Comm) {
+			d := []float64{1}
+			c.Reduce(0, d, Sum)
+			if c.Rank() == 0 && d[0] != float64(p) {
+				t.Errorf("p=%d reduce got %v", p, d[0])
+			}
+		})
+	}
+}
+
+func TestSplitGrid(t *testing.T) {
+	// 2x3 process grid: split into row and column communicators and do
+	// independent reductions in each.
+	const py, pz = 2, 3
+	w := NewWorld(py*pz, Zero())
+	w.Run(func(c *Comm) {
+		y := c.Rank() / pz
+		z := c.Rank() % pz
+		rowComm := c.Split(y, z) // members share y
+		colComm := c.Split(z, y) // members share z
+		if rowComm.Size() != pz || colComm.Size() != py {
+			t.Errorf("split sizes: row=%d col=%d", rowComm.Size(), colComm.Size())
+		}
+		if rowComm.Rank() != z || colComm.Rank() != y {
+			t.Errorf("split ranks: row=%d (want %d) col=%d (want %d)", rowComm.Rank(), z, colComm.Rank(), y)
+		}
+		d := []float64{1}
+		rowComm.Allreduce(d, Sum)
+		if d[0] != pz {
+			t.Errorf("row allreduce got %v", d[0])
+		}
+		d[0] = 1
+		colComm.Allreduce(d, Sum)
+		if d[0] != py {
+			t.Errorf("col allreduce got %v", d[0])
+		}
+	})
+}
+
+func TestSplitUndefined(t *testing.T) {
+	w := NewWorld(4, Zero())
+	w.Run(func(c *Comm) {
+		color := -1
+		if c.Rank() < 2 {
+			color = 0
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() < 2 {
+			if sub == nil || sub.Size() != 2 {
+				t.Errorf("rank %d expected sub of size 2, got %v", c.Rank(), sub)
+			}
+		} else if sub != nil {
+			t.Errorf("rank %d expected nil sub-communicator", c.Rank())
+		}
+	})
+}
+
+func TestStatsCounting(t *testing.T) {
+	w := NewWorld(2, TianheLike())
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SetCategory(CatStencil)
+			c.Send(1, 0, make([]float64, 100))
+		} else {
+			c.SetCategory(CatStencil)
+			c.Recv(0, 0)
+		}
+	})
+	a := w.Stats()
+	if a.MsgsSent != 1 {
+		t.Errorf("MsgsSent = %d, want 1", a.MsgsSent)
+	}
+	if a.BytesSent != 800 {
+		t.Errorf("BytesSent = %d, want 800", a.BytesSent)
+	}
+	if a.MsgsByCat[CatStencil] != 1 {
+		t.Errorf("stencil msgs = %d, want 1", a.MsgsByCat[CatStencil])
+	}
+	if a.StencilTime() <= 0 {
+		t.Errorf("stencil time should be positive, got %v", a.StencilTime())
+	}
+}
+
+func TestSimulatedClockMessageDelay(t *testing.T) {
+	m := NetModel{Latency: 1e-3, ByteTime: 0, SendOverhead: 0, ComputeRate: 1}
+	w := NewWorld(2, m)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1})
+		} else {
+			c.Recv(0, 0)
+			// Receiver must have stalled at least the latency.
+			if c.Clock() < 1e-3 {
+				t.Errorf("receiver clock %v < latency", c.Clock())
+			}
+		}
+	})
+}
+
+func TestSimulatedOverlapHidesLatency(t *testing.T) {
+	// If the receiver computes past the message availability time before
+	// waiting, the wait costs (almost) nothing: overlap is modeled.
+	m := NetModel{Latency: 1e-3, ByteTime: 0, SendOverhead: 0, ComputeRate: 1}
+	run := func(overlapWork float64) (commTime float64) {
+		w := NewWorld(2, m)
+		w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Send(1, 0, []float64{1})
+			} else {
+				buf := make([]float64, 1)
+				r := c.Irecv(0, 0, buf)
+				c.Compute(overlapWork)
+				r.Wait()
+			}
+		})
+		return w.Stats().TotalCommTime()
+	}
+	withOverlap := run(1e-2)  // compute 10 ms before waiting
+	noOverlap := run(0)
+	if withOverlap >= noOverlap {
+		t.Errorf("overlap did not reduce comm time: with=%v without=%v", withOverlap, noOverlap)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	m := NetModel{ComputeRate: 100}
+	w := NewWorld(1, m)
+	w.Run(func(c *Comm) {
+		c.Compute(50)
+		if math.Abs(c.Clock()-0.5) > 1e-12 {
+			t.Errorf("clock = %v, want 0.5", c.Clock())
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("expected panic to propagate from Run")
+		}
+	}()
+	w := NewWorld(2, Zero())
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			panic("boom")
+		}
+		// Rank 1 blocks in Recv; poisoning must unblock it.
+		defer func() { recover() }() // swallow the poison panic on rank 1
+		c.Recv(0, 0)
+	})
+}
+
+func TestAllreducePropertyRandom(t *testing.T) {
+	// Property: ring allreduce equals the serial sum for random inputs,
+	// sizes and rank counts.
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 25; trial++ {
+		p := 1 + rng.Intn(9)
+		n := 1 + rng.Intn(50)
+		inputs := make([][]float64, p)
+		want := make([]float64, n)
+		for r := 0; r < p; r++ {
+			inputs[r] = make([]float64, n)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.NormFloat64()
+			}
+		}
+		for i := 0; i < n; i++ {
+			for r := 0; r < p; r++ {
+				want[i] += inputs[r][i]
+			}
+		}
+		w := NewWorld(p, Zero())
+		w.Run(func(c *Comm) {
+			data := append([]float64(nil), inputs[c.Rank()]...)
+			c.Allreduce(data, Sum)
+			for i := range data {
+				if math.Abs(data[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Errorf("trial %d p=%d n=%d rank=%d elem %d: got %v want %v",
+						trial, p, n, c.Rank(), i, data[i], want[i])
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestRingAllreduceVolume(t *testing.T) {
+	// Theorem 4.2: ring allreduce moves 2(p-1)·(n/p) values per rank. Check
+	// the total byte count matches p · 2(p-1) · (n/p) · 8 bytes.
+	p, n := 4, 64
+	w := NewWorld(p, Zero())
+	w.Run(func(c *Comm) {
+		data := make([]float64, n)
+		c.AllreduceRing(data, Sum)
+	})
+	a := w.Stats()
+	wantBytes := int64(p * 2 * (p - 1) * (n / p) * 8)
+	if a.BytesSent != wantBytes {
+		t.Errorf("ring allreduce moved %d bytes, want %d", a.BytesSent, wantBytes)
+	}
+}
+
+func TestAllreduceRDMatchesSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 13} {
+		for _, n := range []int{1, 3, 17} {
+			results := make([][]float64, p)
+			w := NewWorld(p, Zero())
+			w.Run(func(c *Comm) {
+				data := make([]float64, n)
+				for i := range data {
+					data[i] = float64(c.Rank()+1) * float64(i+1)
+				}
+				c.AllreduceRD(data, Sum)
+				results[c.Rank()] = data
+			})
+			for i := 0; i < n; i++ {
+				want := 0.0
+				for r := 0; r < p; r++ {
+					want += float64(r+1) * float64(i+1)
+				}
+				for r := 0; r < p; r++ {
+					if math.Abs(results[r][i]-want) > 1e-9*(1+math.Abs(want)) {
+						t.Fatalf("p=%d n=%d rank=%d elem=%d: got %v want %v", p, n, r, i, results[r][i], want)
+					}
+				}
+			}
+			// All ranks must hold bitwise-identical results (commutative op).
+			for r := 1; r < p; r++ {
+				for i := 0; i < n; i++ {
+					if results[r][i] != results[0][i] {
+						t.Fatalf("p=%d: ranks disagree bitwise at %d", p, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceDispatch(t *testing.T) {
+	// Short vectors use recursive doubling (log p rounds of full vectors);
+	// long ones the ring. Distinguish them by the byte volume.
+	const p = 4
+	run := func(n int) int64 {
+		w := NewWorld(p, Zero())
+		w.Run(func(c *Comm) {
+			c.Allreduce(make([]float64, n), Sum)
+		})
+		return w.Stats().BytesSent
+	}
+	shortN := 8
+	gotShort := run(shortN)
+	wantRD := int64(p) * 2 * int64(shortN) * 8 // log2(4)=2 rounds of n values per rank
+	if gotShort != wantRD {
+		t.Errorf("short allreduce moved %d bytes, want %d (recursive doubling)", gotShort, wantRD)
+	}
+	longN := 4096
+	gotLong := run(longN)
+	wantRing := int64(p) * 2 * int64(p-1) * int64(longN/p) * 8
+	if gotLong != wantRing {
+		t.Errorf("long allreduce moved %d bytes, want %d (ring)", gotLong, wantRing)
+	}
+}
+
+func TestAllreduceRDMax(t *testing.T) {
+	const p = 6
+	w := NewWorld(p, Zero())
+	w.Run(func(c *Comm) {
+		d := []float64{float64(c.Rank()), -float64(c.Rank())}
+		c.AllreduceRD(d, Max)
+		if d[0] != float64(p-1) || d[1] != 0 {
+			t.Errorf("rank %d: RD max got %v", c.Rank(), d)
+		}
+	})
+}
+
+func TestPoisonUnblocksCollective(t *testing.T) {
+	// A rank dying mid-collective must not deadlock the others: the
+	// poison propagates a panic out of their blocked receives.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected the rank-0 panic to propagate")
+		}
+	}()
+	w := NewWorld(4, Zero())
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			panic("node failure")
+		}
+		defer func() { recover() }() // swallow the poison on survivors
+		d := make([]float64, 1024)
+		c.Allreduce(d, Sum)
+	})
+}
+
+func TestExscanEmptyAndSingle(t *testing.T) {
+	w := NewWorld(1, Zero())
+	w.Run(func(c *Comm) {
+		d := []float64{7}
+		c.Exscan(d, Sum)
+		if d[0] != 0 {
+			t.Errorf("single-rank exscan = %v, want 0", d[0])
+		}
+	})
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("self-send should panic")
+		}
+	}()
+	w := NewWorld(2, Zero())
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			defer func() {
+				if r := recover(); r != nil {
+					panic(r) // re-raise so Run reports it
+				}
+			}()
+			c.Send(0, 0, []float64{1})
+		}
+	})
+}
+
+func TestSubCommIsolation(t *testing.T) {
+	// Messages on a sub-communicator must not be visible to the parent
+	// communicator's matching (communicator ids isolate them).
+	w := NewWorld(4, Zero())
+	w.Run(func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		// Within each 2-member sub-communicator, exchange with tag 0; also
+		// exchange on the world with the SAME tag — no cross-talk allowed.
+		peerSub := 1 - sub.Rank()
+		sub.Send(peerSub, 0, []float64{float64(100 + c.Rank())})
+		peerW := (c.Rank() + 2) % 4
+		c.Send(peerW, 0, []float64{float64(200 + c.Rank())})
+
+		fromSub := sub.Recv(peerSub, 0)
+		fromW := c.Recv(peerW, 0)
+		if fromSub[0] < 100 || fromSub[0] >= 200 {
+			t.Errorf("rank %d: sub-communicator got %v", c.Rank(), fromSub[0])
+		}
+		if fromW[0] < 200 {
+			t.Errorf("rank %d: world got %v", c.Rank(), fromW[0])
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one in-flight point-to-point message. Payloads are copied on
+// send (buffered-send semantics, like MPI_Bsend), so senders never block and
+// the algorithms above are deadlock-free by construction as long as every
+// send is eventually matched by a receive.
+type message struct {
+	commID  uint64
+	src     int // communicator rank of the sender
+	tag     int
+	data    []float64
+	availAt float64 // simulated time at which the payload is available
+}
+
+// endpoint is the receive queue of one world rank.
+type endpoint struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []message
+	poisoned bool
+}
+
+func newEndpoint() *endpoint {
+	ep := &endpoint{}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+func (ep *endpoint) deliver(m message) {
+	ep.mu.Lock()
+	ep.queue = append(ep.queue, m)
+	ep.mu.Unlock()
+	ep.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (commID, src, tag),
+// blocking until one arrives. FIFO order per (commID, src, tag) triple is
+// guaranteed because deliver appends and take scans from the front.
+func (ep *endpoint) take(commID uint64, src, tag int) message {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for {
+		if ep.poisoned {
+			panic("comm: peer rank failed while this rank was receiving")
+		}
+		for i, m := range ep.queue {
+			if m.commID == commID && m.src == src && m.tag == tag {
+				ep.queue = append(ep.queue[:i], ep.queue[i+1:]...)
+				return m
+			}
+		}
+		ep.cond.Wait()
+	}
+}
+
+func (ep *endpoint) poison() {
+	ep.mu.Lock()
+	ep.poisoned = true
+	ep.mu.Unlock()
+	ep.cond.Broadcast()
+}
+
+// Send transmits a copy of data to communicator rank dst with the given tag.
+// It has buffered semantics: it returns as soon as the payload is enqueued
+// at the destination. The simulated clock is charged the send overhead; the
+// payload becomes available to the receiver α + β·bytes after the send.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.sendInternal(dst, tag, data)
+}
+
+// Isend is Send with an explicit request handle; with buffered semantics the
+// request is already complete, so Wait on it is a no-op. It exists so the
+// overlapped halo-exchange code reads like its MPI original.
+func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+	c.sendInternal(dst, tag, data)
+	return &Request{done: true}
+}
+
+func (c *Comm) sendInternal(dst, tag int, data []float64) {
+	if dst == c.rank {
+		panic(fmt.Sprintf("comm: rank %d sending to itself (use local copies)", c.rank))
+	}
+	bytes := 8 * len(data)
+	m := c.world.model
+	c.stats.countSend(bytes)
+	c.stats.addCommTime(m.SendOverhead)
+	payload := make([]float64, len(data))
+	copy(payload, data)
+	c.world.eps[c.worldRank(dst)].deliver(message{
+		commID:  c.id,
+		src:     c.rank,
+		tag:     tag,
+		data:    payload,
+		availAt: c.stats.Clock + m.msgCost(bytes),
+	})
+}
+
+// Recv blocks until a message from communicator rank src with the given tag
+// arrives, and returns its payload. The simulated clock stalls to the
+// message's availability time if the rank got here early (that stall is the
+// modeled communication wait).
+func (c *Comm) Recv(src, tag int) []float64 {
+	m := c.world.eps[c.myWorldRank()].take(c.id, src, tag)
+	c.absorb(m)
+	return m.data
+}
+
+// RecvInto is Recv that copies the payload into buf (which must be exactly
+// the message length) and returns the number of values received.
+func (c *Comm) RecvInto(src, tag int, buf []float64) int {
+	m := c.world.eps[c.myWorldRank()].take(c.id, src, tag)
+	c.absorb(m)
+	if len(buf) < len(m.data) {
+		panic(fmt.Sprintf("comm: RecvInto buffer too small: %d < %d", len(buf), len(m.data)))
+	}
+	return copy(buf, m.data)
+}
+
+// absorb advances the clock for a drained message: stall until availability,
+// then pay the receive-side overhead.
+func (c *Comm) absorb(m message) {
+	mod := c.world.model
+	wait := m.availAt - c.stats.Clock
+	if wait < 0 {
+		wait = 0
+	}
+	c.stats.addCommTime(wait + mod.SendOverhead)
+}
+
+// Request is the handle of a nonblocking operation.
+type Request struct {
+	done bool
+	c    *Comm
+	src  int
+	tag  int
+	buf  []float64
+	n    int
+}
+
+// Irecv posts a nonblocking receive of a message from src with the given
+// tag into buf; completion happens in Wait. (Matching is deferred to Wait,
+// which is observationally equivalent for FIFO-per-pair matching.)
+func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
+	return &Request{c: c, src: src, tag: tag, buf: buf}
+}
+
+// Wait blocks until the operation completes and returns the number of values
+// transferred (0 for sends).
+func (r *Request) Wait() int {
+	if r.done {
+		return r.n
+	}
+	r.n = r.c.RecvInto(r.src, r.tag, r.buf)
+	r.done = true
+	return r.n
+}
+
+// WaitAll completes every request.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}

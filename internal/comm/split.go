@@ -1,0 +1,81 @@
+package comm
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Split partitions the communicator by color (like MPI_Comm_split): ranks
+// passing the same color form a new communicator, ordered by key and then by
+// parent rank. It is a collective operation — every rank of c must call it
+// in the same program order. A negative color returns nil (the rank joins no
+// new communicator), mirroring MPI_UNDEFINED.
+func (c *Comm) Split(color, key int) *Comm {
+	c.stats.Collectives++
+	seq := c.splitSeq
+	c.splitSeq++
+
+	// Gather (color, key) from all ranks.
+	send := []float64{float64(color), float64(key)}
+	recv := make([]float64, 2*c.size)
+	c.Allgather(send, recv)
+
+	if color < 0 {
+		return nil
+	}
+
+	type member struct{ color, key, rank int }
+	var group []member
+	for r := 0; r < c.size; r++ {
+		col := int(recv[2*r])
+		if col == color {
+			group = append(group, member{col, int(recv[2*r+1]), r})
+		}
+	}
+	sort.Slice(group, func(a, b int) bool {
+		if group[a].key != group[b].key {
+			return group[a].key < group[b].key
+		}
+		return group[a].rank < group[b].rank
+	})
+
+	worldRanks := make([]int, len(group))
+	myNewRank := -1
+	for i, m := range group {
+		worldRanks[i] = c.worldRank(m.rank)
+		if m.rank == c.rank {
+			myNewRank = i
+		}
+	}
+
+	return &Comm{
+		world: c.world,
+		id:    deriveCommID(c.id, seq, color),
+		group: worldRanks,
+		rank:  myNewRank,
+		size:  len(group),
+		stats: c.stats, // sub-communicators share the rank's accounting
+	}
+}
+
+// deriveCommID produces the identifier of a derived communicator. All
+// members compute the same id because (parent id, split sequence, color)
+// agree; distinct sibling communicators differ in color.
+func deriveCommID(parent, seq uint64, color int) uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	put64 := func(off int, v uint64) {
+		for b := 0; b < 8; b++ {
+			buf[off+b] = byte(v >> (8 * b))
+		}
+	}
+	put64(0, parent)
+	put64(8, seq)
+	put64(16, uint64(int64(color)))
+	h.Write(buf[:])
+	id := h.Sum64()
+	if id <= worldCommID {
+		id = worldCommID + 1
+	}
+	return id
+}

@@ -1,0 +1,156 @@
+package comm
+
+// Category classifies communication for the paper's per-figure accounting:
+// Figure 6 plots collective time (z summation + x Fourier filtering) and
+// Figure 7 plots the neighbor-exchange time of the stencil computations.
+type Category int
+
+const (
+	// CatOther is the default category.
+	CatOther Category = iota
+	// CatCollectiveZ is the vertical summation collective of Ĉ.
+	CatCollectiveZ
+	// CatCollectiveX is the distributed-FFT communication of F̃.
+	CatCollectiveX
+	// CatStencil is halo exchange for the stencil operators Â, L̃, S̃.
+	CatStencil
+	numCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CatCollectiveZ:
+		return "collective-z"
+	case CatCollectiveX:
+		return "collective-x"
+	case CatStencil:
+		return "stencil"
+	default:
+		return "other"
+	}
+}
+
+// Categories lists all categories in display order.
+func Categories() []Category {
+	return []Category{CatCollectiveZ, CatCollectiveX, CatStencil, CatOther}
+}
+
+// Stats accumulates one rank's communication/computation accounting.
+type Stats struct {
+	// BytesSent and MsgsSent count outgoing point-to-point traffic
+	// (collectives are built on point-to-point, so they are included).
+	BytesSent int64
+	MsgsSent  int64
+	// BytesByCat / MsgsByCat break the same counters down by category.
+	BytesByCat [numCategories]int64
+	MsgsByCat  [numCategories]int64
+	// Collectives counts collective operations entered.
+	Collectives int64
+	// CommTime is simulated seconds spent in communication per category
+	// (send/receive overheads plus stall time waiting for messages).
+	CommTime [numCategories]float64
+	// CompTime is simulated seconds of computation (Compute calls).
+	CompTime float64
+	// Clock is the rank's simulated time.
+	Clock float64
+
+	cat Category
+
+	trace     *Recorder
+	traceRank int
+}
+
+func newStats() *Stats { return &Stats{} }
+
+func (s *Stats) snapshot() Stats { return *s }
+
+// TotalCommTime returns the sum of CommTime over all categories.
+func (s *Stats) TotalCommTime() float64 {
+	t := 0.0
+	for _, v := range s.CommTime {
+		t += v
+	}
+	return t
+}
+
+// addCommTime charges dt seconds of communication to the current category
+// and advances the clock.
+func (s *Stats) addCommTime(dt float64) {
+	if s.trace != nil {
+		s.trace.record(Event{Rank: s.traceRank, Kind: EvComm, Cat: s.cat, T0: s.Clock, T1: s.Clock + dt})
+	}
+	s.Clock += dt
+	s.CommTime[s.cat] += dt
+}
+
+// countSend records an outgoing message of the given payload size.
+func (s *Stats) countSend(bytes int) {
+	s.BytesSent += int64(bytes)
+	s.MsgsSent++
+	s.BytesByCat[s.cat] += int64(bytes)
+	s.MsgsByCat[s.cat]++
+}
+
+// Aggregate summarizes a whole world run: counter totals across ranks and
+// critical-path (max over ranks) times.
+type Aggregate struct {
+	Ranks       int
+	BytesSent   int64
+	MsgsSent    int64
+	Collectives int64
+	// BytesByCat/MsgsByCat are summed over ranks.
+	BytesByCat [numCategories]int64
+	MsgsByCat  [numCategories]int64
+	// CommTimeMax[cat] is the maximum over ranks of per-category simulated
+	// communication time; CompTimeMax and SimTime likewise.
+	CommTimeMax [numCategories]float64
+	CompTimeMax float64
+	SimTime     float64
+}
+
+// CommTime returns the critical-path communication time for a category.
+func (a Aggregate) CommTime(cat Category) float64 { return a.CommTimeMax[cat] }
+
+// TotalCommTime returns the summed critical-path communication time over
+// categories (an upper estimate of total communication time).
+func (a Aggregate) TotalCommTime() float64 {
+	t := 0.0
+	for _, v := range a.CommTimeMax {
+		t += v
+	}
+	return t
+}
+
+// CollectiveTime returns the combined z- and x-collective time (Figure 6's
+// quantity).
+func (a Aggregate) CollectiveTime() float64 {
+	return a.CommTimeMax[CatCollectiveZ] + a.CommTimeMax[CatCollectiveX]
+}
+
+// StencilTime returns the halo-exchange time (Figure 7's quantity).
+func (a Aggregate) StencilTime() float64 { return a.CommTimeMax[CatStencil] }
+
+func aggregate(comms []*Comm) Aggregate {
+	a := Aggregate{Ranks: len(comms)}
+	for _, c := range comms {
+		s := c.stats
+		a.BytesSent += s.BytesSent
+		a.MsgsSent += s.MsgsSent
+		a.Collectives += s.Collectives
+		for i := 0; i < int(numCategories); i++ {
+			a.BytesByCat[i] += s.BytesByCat[i]
+			a.MsgsByCat[i] += s.MsgsByCat[i]
+			if s.CommTime[i] > a.CommTimeMax[i] {
+				a.CommTimeMax[i] = s.CommTime[i]
+			}
+		}
+		if s.CompTime > a.CompTimeMax {
+			a.CompTimeMax = s.CompTime
+		}
+		if s.Clock > a.SimTime {
+			a.SimTime = s.Clock
+		}
+	}
+	return a
+}

@@ -1,0 +1,60 @@
+// Package core is the entry point to the paper's primary contribution: the
+// communication-avoiding algorithm for the dynamical core (Algorithm 2) and
+// the baselines it is evaluated against. It re-exports the public surface of
+// internal/dycore under the name the repository layout reserves for the
+// core contribution; see internal/dycore for the implementation and
+// DESIGN.md for the system inventory.
+package core
+
+import (
+	"cadycore/internal/comm"
+	"cadycore/internal/dycore"
+	"cadycore/internal/grid"
+)
+
+// Re-exported types of the time-integration API.
+type (
+	// Config is the numerical configuration (M, Δt1, Δt2, β, filter cutoff,
+	// ablation switches).
+	Config = dycore.Config
+	// Setup selects an algorithm and process grid.
+	Setup = dycore.Setup
+	// Algorithm enumerates the paper's execution strategies.
+	Algorithm = dycore.Algorithm
+	// Integrator is a running dynamical core on one rank.
+	Integrator = dycore.Integrator
+	// RunResult carries statistics and final states of a parallel run.
+	RunResult = dycore.RunResult
+	// InitFunc fills a rank's initial state.
+	InitFunc = dycore.InitFunc
+	// StepHook couples pointwise physics between steps.
+	StepHook = dycore.StepHook
+	// Counters reports the algorithm-level operation counts (exchange
+	// rounds, z-collectives) the paper's claims are stated in.
+	Counters = dycore.Counters
+)
+
+// Algorithm selectors.
+const (
+	// CommAvoiding is the paper's Algorithm 2.
+	CommAvoiding = dycore.AlgCommAvoid
+	// OriginalYZ is Algorithm 1 under the Y-Z decomposition.
+	OriginalYZ = dycore.AlgBaselineYZ
+	// OriginalXY is Algorithm 1 under the X-Y decomposition.
+	OriginalXY = dycore.AlgBaselineXY
+	// Original3D is Algorithm 1 on a full 3-D process grid.
+	Original3D = dycore.AlgBaseline3D
+)
+
+// DefaultConfig returns the paper's configuration (M = 3).
+func DefaultConfig() Config { return dycore.DefaultConfig() }
+
+// Run executes steps of a setup on a fresh simulated world.
+func Run(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps int) RunResult {
+	return dycore.Run(s, g, model, init, steps)
+}
+
+// RunWithHook is Run with a per-step physics hook.
+func RunWithHook(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps int, hook StepHook) RunResult {
+	return dycore.RunWithHook(s, g, model, init, steps, hook)
+}

@@ -1,0 +1,24 @@
+package core_test
+
+import (
+	"testing"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/core"
+	"cadycore/internal/grid"
+	"cadycore/internal/heldsuarez"
+)
+
+func TestFacadeRunsAlgorithm2(t *testing.T) {
+	g := grid.New(32, 16, 6)
+	cfg := core.DefaultConfig()
+	cfg.Dt1, cfg.Dt2 = 30, 180
+	res := core.Run(core.Setup{Alg: core.CommAvoiding, PA: 2, PB: 2, Cfg: cfg},
+		g, comm.Zero(), heldsuarez.InitialState, 2)
+	if !res.Finals[0].AllFinite() {
+		t.Fatal("façade run unstable")
+	}
+	if got := (res.Count.HaloExchanges - 2) / 2; got != 2 {
+		t.Errorf("exchange rounds per step = %d, want 2", got)
+	}
+}

@@ -1,0 +1,154 @@
+package dycore
+
+import (
+	"cadycore/internal/grid"
+	"cadycore/internal/state"
+	"cadycore/internal/stencil"
+	"cadycore/internal/topo"
+)
+
+// Baseline runs the original Algorithm 1 on an arbitrary process grid: a
+// halo exchange before every operator evaluation, a fresh Ĉ (one
+// z-collective) inside every adaptation evaluation, Fourier filtering after
+// every tendency (a distributed transpose FFT when p_x > 1), and full
+// smoothing with its own exchange at the end of each step.
+//
+// With p_x = 1 this is the paper's "original algorithm, Y-Z decomposition";
+// with p_z = 1 it is the "original algorithm, X-Y decomposition". Per step
+// it performs 3M + 4 halo-exchange rounds and 3M z-collectives, matching
+// the counts of Section 5.2.
+type Baseline struct {
+	*core
+	exStencil *topo.Exchanger // per-update exchange at the stencil radii
+	exSmooth  *topo.Exchanger // depth-2 exchange before smoothing
+}
+
+// Halo widths for the baseline: the per-update radii of the widest tables
+// (x from Tables 1/2, y from Table 3's smoothing, z from Tables 1/2).
+func baselineHalo() (hx, hy, hz int) {
+	r := stencil.Union(
+		stencil.RadiusOf(stencil.Adaptation),
+		stencil.RadiusOf(stencil.Advection),
+		stencil.RadiusOf(stencil.Smoothing),
+	)
+	return r.X, r.Y, r.Z
+}
+
+// NewBaseline builds the baseline integrator for the calling rank. The
+// topology must be built with BaselineTopology (or identical halo widths).
+func NewBaseline(cfg Config, g *grid.Grid, tp *topo.Topology) *Baseline {
+	b := &Baseline{core: newCore(cfg, g, tp)}
+	rAd := stencil.Union(stencil.RadiusOf(stencil.Adaptation), stencil.RadiusOf(stencil.Advection))
+	rSm := stencil.RadiusOf(stencil.Smoothing)
+	dx := 0
+	dxs := 0
+	if tp.Px > 1 {
+		dx = rAd.X
+		dxs = rSm.X
+	}
+	dy, dz := rAd.Y, rAd.Z
+	if tp.Py == 1 {
+		dy = 0
+	}
+	if tp.Pz == 1 {
+		dz = 0
+	}
+	dys := rSm.Y
+	if tp.Py == 1 {
+		dys = 0
+	}
+	b.exStencil = tp.NewExchanger(dx, dy, dz)
+	b.exSmooth = tp.NewExchanger(dxs, dys, 0)
+	return b
+}
+
+// SetState overwrites the owned region of ξ (and refreshes boundaries and
+// the initial Ĉ cache — one startup exchange and one startup collective,
+// mirroring the model's initialization phase).
+func (b *Baseline) SetState(init *state.State) {
+	b.xi.CopyFrom(init)
+	b.bootstrap()
+}
+
+// bootstrap fills halos and evaluates the initial Ĉ(ξ⁰) so the advection's
+// σ̇ is defined from the first step (Algorithm 2 line 1: ξ^(−1) = ξ^(0)).
+func (b *Baseline) bootstrap() {
+	b.localFill(b.xi)
+	f3, f2 := b.exchangeFields(b.xi)
+	b.exStencil.Exchange(f3, f2)
+	b.n.HaloExchanges++
+	b.localFill(b.xi)
+	b.updateSurface(b.xi)
+	b.evalC(b.xi, b.cLast, b.tp.Block.Owned())
+	b.fillCBounds(b.cLast)
+}
+
+// exchange performs one stencil-radius halo exchange of st (plus the cached
+// Ĉ fields).
+func (b *Baseline) exchange(st *state.State) {
+	f3, f2 := b.exchangeFields(st)
+	b.exStencil.Exchange(f3, f2)
+	b.n.HaloExchanges++
+	b.localFill(st)
+}
+
+// adaptUpdate computes dst = base + Δt1·F̃(Ĉ(src) + Â(src)) on the owned
+// region, performing the halo exchange of src first.
+func (b *Baseline) adaptUpdate(dst, base, src *state.State) {
+	owned := b.tp.Block.Owned()
+	b.exchange(src)
+	b.updateSurface(src)
+	b.evalC(src, b.cNew, owned)
+	b.adaptTendency(src, b.cNew, owned)
+	b.filterTendency(owned)
+	b.applyUpdate(dst, base, b.cfg.Dt1, owned)
+	// Remember the most recent Ĉ for the advection's σ̇.
+	b.cLast, b.cNew = b.cNew, b.cLast
+}
+
+// advectUpdate computes dst = base + Δt2·F̃(L̃(src)) on the owned region.
+func (b *Baseline) advectUpdate(dst, base, src *state.State) {
+	owned := b.tp.Block.Owned()
+	b.exchange(src)
+	b.updateSurface(src)
+	b.advectTendency(src, b.cLast, owned)
+	b.filterTendency(owned)
+	b.applyUpdate(dst, base, b.cfg.Dt2, owned)
+}
+
+// Step advances one time step of Algorithm 1.
+func (b *Baseline) Step() {
+	owned := b.tp.Block.Owned()
+
+	// Adaptation: M nonlinear iterations of 3 internal updates each.
+	b.psi.CopyFrom(b.xi)
+	for i := 1; i <= b.cfg.M; i++ {
+		b.adaptUpdate(b.eta1, b.psi, b.psi)
+		b.adaptUpdate(b.eta2, b.psi, b.eta1)
+		b.mid.Mean2Rect(b.psi, b.eta2, owned)
+		b.mid.FillLocalBounds()
+		b.adaptUpdate(b.psi, b.psi, b.mid) // ψ ← η3
+	}
+
+	// Advection: one nonlinear iteration.
+	b.advectUpdate(b.eta1, b.psi, b.psi)  // ζ1
+	b.advectUpdate(b.eta2, b.psi, b.eta1) // ζ2
+	b.mid.Mean2Rect(b.psi, b.eta2, owned)
+	b.mid.FillLocalBounds()
+	b.advectUpdate(b.psi, b.psi, b.mid) // ζ3
+
+	// Smoothing with its own exchange.
+	f3, f2 := b.exchangeFields(b.psi)
+	b.exSmooth.Exchange(f3, f2)
+	b.n.HaloExchanges++
+	b.localFill(b.psi)
+	w := b.smo.SmoothFull(b.psi, b.xi, owned)
+	b.w.Compute(float64(w) * costSmooth)
+	b.n.SmoothingCalls++
+	b.localFill(b.xi)
+
+	b.n.Steps++
+}
+
+// Finalize is a no-op: the baseline smooths within Step.
+func (b *Baseline) Finalize() {}

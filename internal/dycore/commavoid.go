@@ -1,0 +1,408 @@
+package dycore
+
+import (
+	"fmt"
+
+	"cadycore/internal/field"
+	"cadycore/internal/grid"
+	"cadycore/internal/state"
+	"cadycore/internal/stencil"
+	"cadycore/internal/topo"
+)
+
+// CommAvoid runs the communication-avoiding Algorithm 2 under the Y-Z
+// decomposition:
+//
+//   - deep halo areas sized for all 3M adaptation stencil updates, so each
+//     step performs exactly two neighbor-exchange rounds (one for the
+//     adaptation + fused smoothing, one for the advection) instead of the
+//     baseline's 3M + 4 (Section 4.3.1);
+//   - inner/outer partition computing to overlap the exchanges with the
+//     first update of each phase;
+//   - the approximate nonlinear iteration: the η1 update of every iteration
+//     reuses the previous iteration's last Ĉ evaluation, cutting the
+//     z-collectives from 3M to 2M per step (Section 4.2.2);
+//   - operator splitting of the smoothing into former (S̃1, before the
+//     exchange) and latter (S̃2, after it) stages, fusing the smoothing
+//     communication into the adaptation exchange (Section 4.3.2);
+//   - p_x = 1, so Fourier filtering involves no communication at all
+//     (Section 4.2.1).
+//
+// The Config ablation switches disable each ingredient individually.
+type CommAvoid struct {
+	*core
+	deepEx  *topo.Exchanger // adaptation exchange: (0, 3M+2, 3M)
+	bandEx  *topo.Exchanger // original edge rows for S̃2 (the "yellow bar")
+	advEx   *topo.Exchanger // advection exchange: (0, 3, 3)
+	smEx    *topo.Exchanger // plain smoothing exchange (ablation/Finalize)
+	origPhi *field.F3       // pre-smoothing Φ for the latter smoothing
+	origPsa *field.F2
+
+	depthY, depthZ int // valid halo depth after the adaptation exchange (= 3M)
+	finalized      bool
+}
+
+// CommAvoidHalo returns the halo widths Algorithm 2 requires for M
+// nonlinear iterations: 3M stencil layers plus 2 smoothing layers in y, 3M
+// layers in z, and the x radius of the widest table (filled by local
+// periodic copies).
+func CommAvoidHalo(m int) (hx, hy, hz int) {
+	r := stencil.Union(stencil.RadiusOf(stencil.Adaptation), stencil.RadiusOf(stencil.Advection))
+	rs := stencil.RadiusOf(stencil.Smoothing)
+	return r.X, 3*m*r.Y + rs.Y, 3 * m * r.Z
+}
+
+// BaselineHalo returns the halo widths the baseline integrator requires
+// (the per-update radii of the widest stencils).
+func BaselineHalo() (hx, hy, hz int) { return baselineHalo() }
+
+// NewCommAvoid builds the communication-avoiding integrator. The topology
+// must use p_x = 1 and halo widths from CommAvoidHalo(cfg.M); blocks must be
+// at least 3 rows/layers thick so the overlap inner region is well formed.
+func NewCommAvoid(cfg Config, g *grid.Grid, tp *topo.Topology) *CommAvoid {
+	if tp.Px != 1 {
+		panic("dycore: the communication-avoiding algorithm requires the Y-Z decomposition (p_x = 1)")
+	}
+	_, hy, hz := CommAvoidHalo(cfg.M)
+	if tp.Block.Hy < hy || tp.Block.Hz < hz {
+		panic(fmt.Sprintf("dycore: halo widths (%d,%d) too small for CommAvoid (need %d,%d)",
+			tp.Block.Hy, tp.Block.Hz, hy, hz))
+	}
+	ca := &CommAvoid{core: newCore(cfg, g, tp)}
+	ca.depthY = hy - 2 // smoothing consumes the outermost 2 y rows
+	ca.depthZ = hz
+
+	rAdv := stencil.RadiusOf(stencil.Advection)
+	dyAdv, dzAdv := 3*rAdv.Y, 3*rAdv.Z
+	if tp.Py == 1 {
+		hy = 0
+		dyAdv = 0
+	}
+	if tp.Pz == 1 {
+		hz = 0
+		dzAdv = 0
+	}
+	// The adaptation stencils are one-sided in z (Table 1 reads k and k+1
+	// only), so the deep halo extends toward higher k only; this is the
+	// shape of the paper's Figure 4 halo areas.
+	deep := topo.Depths{X: 0, YLo: hy, YHi: hy, ZLo: 0, ZHi: hz}
+	ca.deepEx = tp.NewExchangerD(deep)
+	ca.bandEx = tp.NewBandExchangerY(deep, 2)
+	ca.advEx = tp.NewExchanger(0, dyAdv, dzAdv)
+	dys := stencil.RadiusOf(stencil.Smoothing).Y
+	if tp.Py == 1 {
+		dys = 0
+	}
+	ca.smEx = tp.NewExchanger(0, dys, 0)
+	ca.origPhi = field.NewF3(tp.Block)
+	ca.origPsa = field.NewF2(tp.Block)
+	return ca
+}
+
+// SetState overwrites ξ and bootstraps halos and the initial Ĉ cache
+// (ξ^(−1) = ξ^(0), Algorithm 2 line 1).
+func (ca *CommAvoid) SetState(init *state.State) {
+	ca.xi.CopyFrom(init)
+	ca.localFill(ca.xi)
+	f3, f2 := ca.exchangeFields(ca.xi)
+	ca.deepEx.Exchange(f3, f2)
+	ca.n.HaloExchanges++
+	ca.localFill(ca.xi)
+	ca.updateSurface(ca.xi)
+	ca.evalC(ca.xi, ca.cLast, ca.region(1))
+	ca.finalized = false
+}
+
+// availY reports the former-smoothing row window of the rank owning global
+// row j: its owned rows, extended across a pole by the mirror ghosts.
+func (ca *CommAvoid) availY(j int) (lo, hi int) {
+	py, ny := ca.tp.Py, ca.g.Ny
+	w := j * py / ny
+	for w > 0 && j < w*ny/py {
+		w--
+	}
+	for w < py-1 && j >= (w+1)*ny/py {
+		w++
+	}
+	lo, hi = w*ny/py, (w+1)*ny/py
+	if lo == 0 {
+		lo = -2
+	}
+	if hi == ny {
+		hi = ny + 2
+	}
+	return lo, hi
+}
+
+// region returns the compute rect of the u-th adaptation update (u counts
+// 1 … 3M within the step): the owned block extended by the remaining valid
+// halo depth — symmetric in y, high side only in z (the adaptation stencil
+// never reads k−1).
+func (ca *CommAvoid) region(u int) field.Rect {
+	return ca.expandAsym(ca.depthY-u, ca.depthY-u, 0, ca.depthZ-u)
+}
+
+// expandAsym grows the owned rect by per-side amounts, clamped to the
+// global domain.
+func (ca *CommAvoid) expandAsym(yLo, yHi, zLo, zHi int) field.Rect {
+	b := ca.tp.Block
+	r := b.Owned()
+	r.J0 -= yLo
+	r.J1 += yHi
+	r.K0 -= zLo
+	r.K1 += zHi
+	if r.J0 < 0 {
+		r.J0 = 0
+	}
+	if r.J1 > ca.g.Ny {
+		r.J1 = ca.g.Ny
+	}
+	if r.K0 < 0 {
+		r.K0 = 0
+	}
+	if r.K1 > ca.g.Nz {
+		r.K1 = ca.g.Nz
+	}
+	return r
+}
+
+// fusedSmoothing reports whether the former/later smoothing split is in
+// effect this step.
+func (ca *CommAvoid) fusedSmoothing() bool {
+	return !ca.cfg.NoFusedSmoothing && ca.n.Steps >= 1
+}
+
+// Step advances one time step of Algorithm 2.
+func (ca *CommAvoid) Step() {
+	g := ca.g
+	owned := ca.tp.Block.Owned()
+	fused := ca.fusedSmoothing()
+
+	// ---- Former smoothing S̃1 of ψ⁰ = ξ^(k−1) on the owned block ----
+	if fused {
+		ca.xi.FillLocalBounds() // x halos and pole mirrors for the δ⁴ reads
+		field.Copy(ca.origPhi, ca.xi.Phi)
+		field.Copy2(ca.origPsa, ca.xi.Psa)
+		w := ca.smo.P1Field(ca.xi.U, ca.eta1.U, owned)
+		w += ca.smo.P1Field(ca.xi.V, ca.eta1.V, owned)
+		w += ca.smo.P2Former(ca.xi.Phi, ca.eta1.Phi, owned, ca.availY)
+		w += ca.smo.P2Former2(ca.xi.Psa, ca.eta1.Psa, owned, ca.availY)
+		ca.xi.U.CopyRect(owned, ca.eta1.U)
+		ca.xi.V.CopyRect(owned, ca.eta1.V)
+		ca.xi.Phi.CopyRect(owned, ca.eta1.Phi)
+		copyRect2(ca.xi.Psa, owned, ca.eta1.Psa)
+		ca.xi.FillLocalBounds()
+		ca.w.Compute(float64(w) * costSmooth)
+		ca.n.SmoothingCalls++
+	}
+
+	// ---- One deep exchange for the smoothing + all 3M adaptation updates ----
+	f3, f2 := ca.exchangeFields(ca.xi)
+	pend := ca.deepEx.Begin(f3, f2)
+	var bandPend *topo.Pending
+	if fused {
+		bandPend = ca.bandEx.Begin([]*field.F3{ca.origPhi}, []*field.F2{ca.origPsa})
+	}
+	ca.n.HaloExchanges++ // one fused communication round
+
+	// ---- Overlap: η1 tendency on the inner part while messages fly ----
+	// The overlapped inner computation uses the lagged Ĉ of the approximate
+	// nonlinear iteration; under the ExactC ablation η1 must instead use a
+	// fresh post-exchange Ĉ, so the overlap is skipped for that update.
+	r1 := ca.region(1)
+	var inner field.Rect
+	ca.updateSurface(ca.xi)
+	if !ca.cfg.NoOverlap && !ca.cfg.ExactC {
+		dIn := 1 // one stencil radius inside the owned block
+		if fused {
+			dIn = 3 // plus the two edge rows awaiting latter smoothing
+		}
+		// The adaptation stencil reads k+1 but never k−1, so only the
+		// high-z side shrinks for the pre-exchange inner part.
+		inner = owned
+		if inner.J0 != 0 {
+			inner.J0 += dIn
+		}
+		if inner.J1 != ca.g.Ny {
+			inner.J1 -= dIn
+		}
+		if inner.K1 != ca.g.Nz {
+			inner.K1--
+		}
+		if !inner.Empty() {
+			ca.adaptTendency(ca.xi, ca.cLast, inner)
+			ca.filterTendency(inner)
+		}
+	}
+
+	pend.Finish()
+	if bandPend != nil {
+		bandPend.Finish()
+	}
+	ca.localFill(ca.xi)
+
+	// ---- Latter smoothing S̃2 on the edge bands of the owned block and of
+	// the received deep halo ----
+	if fused {
+		// The received original rows carry owned columns only; refresh
+		// their periodic x halos before the δ⁴_λ reads.
+		ca.origPhi.FillXPeriodic()
+		ca.origPsa.FillXPeriodic()
+		if ca.cfg.ShiftedPoleMirror {
+			field.FillPolesYShifted(ca.origPhi, field.Even, field.CenterY)
+			field.FillPolesY2Shifted(ca.origPsa, field.Even)
+		} else {
+			field.FillPolesY(ca.origPhi, field.Even, field.CenterY)
+			field.FillPolesY2(ca.origPsa, field.Even)
+		}
+		s2r := ca.expandAsym(ca.depthY, ca.depthY, 0, ca.depthZ)
+		w := ca.smo.P2Latter(ca.origPhi, ca.xi.Phi, s2r, ca.availY)
+		w += ca.smo.P2Latter2(ca.origPsa, ca.xi.Psa, s2r, ca.availY)
+		ca.xi.FillLocalBounds()
+		ca.w.Compute(float64(w) * costSmooth)
+	}
+
+	// ---- η1 completion on the outer region, then the update ----
+	ca.updateSurface(ca.xi)
+	if ca.cfg.ExactC {
+		ca.evalC(ca.xi, ca.cNew, r1)
+		ca.cLast, ca.cNew = ca.cNew, ca.cLast
+	}
+	for _, s := range slabs(r1, inner) {
+		ca.adaptTendency(ca.xi, ca.cLast, s)
+		ca.filterTendency(s)
+	}
+	ca.psi.CopyFrom(ca.xi)
+	ca.applyUpdate(ca.eta1, ca.psi, ca.cfg.Dt1, r1)
+
+	// ---- Remaining adaptation updates (Algorithm 2 lines 13–22) ----
+	u := 1
+	for i := 1; i <= ca.cfg.M; i++ {
+		if i > 1 {
+			// η1 of iteration i: reuse Ĉ from the previous iteration's
+			// midpoint state (the stand-in for Ĉ(ψ^{i−2})) unless ExactC.
+			u++
+			r := ca.region(u)
+			ca.updateSurface(ca.psi)
+			cr := ca.cLast
+			if ca.cfg.ExactC {
+				ca.evalC(ca.psi, ca.cNew, r)
+				cr = ca.cNew
+			}
+			ca.adaptTendency(ca.psi, cr, r)
+			ca.filterTendency(r)
+			ca.applyUpdate(ca.eta1, ca.psi, ca.cfg.Dt1, r)
+		}
+
+		// η2 = ψ + Δt1·F̃(Ĉ(η1) + Â(η1))
+		u++
+		r := ca.region(u)
+		ca.updateSurface(ca.eta1)
+		ca.evalC(ca.eta1, ca.cNew, r)
+		ca.adaptTendency(ca.eta1, ca.cNew, r)
+		ca.filterTendency(r)
+		ca.applyUpdate(ca.eta2, ca.psi, ca.cfg.Dt1, r)
+		r2 := r
+
+		// η3 = ψ + Δt1·F̃(Ĉ(mid) + Â(mid)), mid = (ψ + η2)/2
+		u++
+		r = ca.region(u)
+		ca.mid.Mean2Rect(ca.psi, ca.eta2, r2)
+		ca.mid.FillLocalBounds()
+		ca.updateSurface(ca.mid)
+		ca.evalC(ca.mid, ca.cNew, r)
+		ca.adaptTendency(ca.mid, ca.cNew, r)
+		ca.filterTendency(r)
+		ca.applyUpdate(ca.psi, ca.psi, ca.cfg.Dt1, r) // ψ ← η3
+		ca.cLast, ca.cNew = ca.cNew, ca.cLast      // cache Ĉ(mid) for the next η1
+	}
+
+	// ---- Advection phase: one exchange, overlap on ζ1 ----
+	f3, f2 = ca.exchangeFields(ca.psi)
+	pend = ca.advEx.Begin(f3, f2)
+	ca.n.HaloExchanges++
+	ca.updateSurface(ca.psi)
+	rz1 := ca.advRegion(2)
+	inner = field.Rect{}
+	if !ca.cfg.NoOverlap {
+		inner = ca.shrinkInternal(owned, 1, 1)
+		if !inner.Empty() {
+			ca.advectTendency(ca.psi, ca.cLast, inner)
+			ca.filterTendency(inner)
+		}
+	}
+	pend.Finish()
+	ca.localFill(ca.psi)
+	ca.updateSurface(ca.psi)
+	for _, s := range slabs(rz1, inner) {
+		ca.advectTendency(ca.psi, ca.cLast, s)
+		ca.filterTendency(s)
+	}
+	ca.applyUpdate(ca.eta1, ca.psi, ca.cfg.Dt2, rz1) // ζ1
+
+	// ζ2
+	r := ca.advRegion(1)
+	ca.updateSurface(ca.eta1)
+	ca.advectTendency(ca.eta1, ca.cLast, r)
+	ca.filterTendency(r)
+	ca.applyUpdate(ca.eta2, ca.psi, ca.cfg.Dt2, r)
+
+	// ζ3
+	ca.mid.Mean2Rect(ca.psi, ca.eta2, r)
+	ca.mid.FillLocalBounds()
+	ca.updateSurface(ca.mid)
+	ca.advectTendency(ca.mid, ca.cLast, owned)
+	ca.filterTendency(owned)
+	ca.applyUpdate(ca.psi, ca.psi, ca.cfg.Dt2, owned)
+
+	ca.xi.CopyFrom(ca.psi)
+
+	// Ablation: plain smoothing at the end of the step (baseline style).
+	if ca.cfg.NoFusedSmoothing {
+		ca.plainSmooth()
+	}
+
+	ca.n.Steps++
+	_ = g
+	ca.finalized = false
+}
+
+// advRegion is region() for the advection phase's shallower halo.
+func (ca *CommAvoid) advRegion(depth int) field.Rect {
+	return ca.expandInternal(depth, depth)
+}
+
+// plainSmooth applies full smoothing with its own exchange (ablation path
+// and Finalize).
+func (ca *CommAvoid) plainSmooth() {
+	f3, f2 := ca.exchangeFields(ca.xi)
+	ca.smEx.Exchange(f3, f2)
+	ca.n.HaloExchanges++
+	ca.localFill(ca.xi)
+	ca.psi.CopyFrom(ca.xi)
+	w := ca.smo.SmoothFull(ca.psi, ca.xi, ca.tp.Block.Owned())
+	ca.w.Compute(float64(w) * costSmooth)
+	ca.n.SmoothingCalls++
+	ca.localFill(ca.xi)
+}
+
+// Finalize applies the trailing smoothing of Algorithm 2 line 30 (deferred
+// from the last step), making Xi() comparable with the baseline's output.
+func (ca *CommAvoid) Finalize() {
+	if ca.finalized || ca.cfg.NoFusedSmoothing || ca.n.Steps == 0 {
+		ca.finalized = true
+		return
+	}
+	ca.plainSmooth()
+	ca.finalized = true
+}
+
+// copyRect2 copies rect r of src into dst for 2-D fields.
+func copyRect2(dst *field.F2, r field.Rect, src *field.F2) {
+	r = r.Flat2D()
+	for j := r.J0; j < r.J1; j++ {
+		d := dst.Index(r.I0, j)
+		s := src.Index(r.I0, j)
+		copy(dst.Data[d:d+(r.I1-r.I0)], src.Data[s:s+(r.I1-r.I0)])
+	}
+}

@@ -1,0 +1,97 @@
+// Package dycore implements the time integration of the dynamical core:
+// the original nonlinear-iteration scheme (Algorithm 1 of the paper) under
+// the X-Y and Y-Z domain decompositions, and the communication-avoiding
+// scheme (Algorithm 2) with deep halo areas, computation/communication
+// overlap, the approximate nonlinear iteration for Ĉ, and the fused
+// former/later smoothing.
+//
+// One time step evolves ξ = (U, V, Φ, p'_sa) through M nonlinear iterations
+// of the adaptation process (time step Δt1), one nonlinear iteration of the
+// advection process (Δt2 ≫ Δt1), and the smoothing S̃ — the operator flow
+// ξ(k) = S̃ (F̃L̃)³ (F̃ĈÂ)^{3M} ξ(k−1) (paper eq. 8).
+package dycore
+
+import (
+	"cadycore/internal/operators"
+)
+
+// Config holds the numerical parameters of a run. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// M is the number of nonlinear iterations of the adaptation process per
+	// step (the paper's experiments use M = 3).
+	M int
+	// Dt1 and Dt2 are the adaptation and advection time steps in seconds
+	// (Δt1 ≪ Δt2; the advection step is the "model time step": one Step
+	// advances the model clock by Dt2).
+	Dt1, Dt2 float64
+	// Beta is the smoothing coefficient β of S̃.
+	Beta float64
+	// FilterCutoffDeg is the latitude (degrees) poleward of which Fourier
+	// filtering is active.
+	FilterCutoffDeg float64
+	// Adapt holds the adaptation-term switches.
+	Adapt operators.AdaptConfig
+
+	// ShiftedPoleMirror selects the exact spherical (antipodal-meridian)
+	// pole condition instead of the default local mirror. Only valid under
+	// decompositions with p_x = 1.
+	ShiftedPoleMirror bool
+
+	// Ablation switches for the communication-avoiding algorithm (all false
+	// in the paper's configuration — they exist to measure each
+	// optimization's contribution separately):
+	//
+	// ExactC disables the approximate nonlinear iteration: Ĉ is evaluated
+	// fresh in every internal update (3M z-collectives per step instead of
+	// 2M).
+	ExactC bool
+	// NoOverlap disables the inner/outer computation split: the algorithm
+	// blocks on the halo exchange before computing anything.
+	NoOverlap bool
+	// NoFusedSmoothing disables the former/later smoothing split: smoothing
+	// runs at the end of each step with its own halo exchange, like the
+	// baseline.
+	NoFusedSmoothing bool
+}
+
+// DefaultConfig returns the paper's configuration (M = 3) with time steps
+// that satisfy the gravity-wave CFL condition of the given resolution scale
+// (callers typically override Dt1/Dt2 per mesh).
+func DefaultConfig() Config {
+	return Config{
+		M:               3,
+		Dt1:             60,
+		Dt2:             360,
+		Beta:            1.0,
+		FilterCutoffDeg: 60,
+		Adapt:           operators.DefaultAdaptConfig(),
+	}
+}
+
+// Validate panics on unusable configurations.
+func (c Config) Validate() {
+	if c.M < 1 {
+		panic("dycore: M must be ≥ 1")
+	}
+	if c.Dt1 <= 0 || c.Dt2 <= 0 {
+		panic("dycore: time steps must be positive")
+	}
+	if c.Beta <= 0 || c.Beta >= 2 {
+		panic("dycore: smoothing β must lie in (0, 2)")
+	}
+}
+
+// Compute-cost weights (simulated point-update units per mesh point) used
+// to advance the LogP clock; they approximate the relative arithmetic
+// density of the kernels.
+const (
+	costAdapt     = 1.0
+	costAdvect    = 2.0
+	costSmooth    = 0.6
+	costDivP      = 0.5
+	costCSum      = 0.3
+	costSurface   = 0.1
+	costLincomb   = 0.1
+	costFilterRow = 0.05 // per retained row, times Nx·log2(Nx)
+)

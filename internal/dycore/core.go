@@ -1,0 +1,261 @@
+package dycore
+
+import (
+	"math"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/field"
+	"cadycore/internal/filter"
+	"cadycore/internal/grid"
+	"cadycore/internal/operators"
+	"cadycore/internal/state"
+	"cadycore/internal/topo"
+)
+
+// Integrator is one rank's handle on a running dynamical core.
+type Integrator interface {
+	// Step advances the model by one time step (Δt2 of model time).
+	Step()
+	// Finalize applies any deferred smoothing so Xi() is the final ξ(K)
+	// (Algorithm 2 line 30). Baselines smooth within Step, so their
+	// Finalize is a no-op. Call exactly once, after the last Step.
+	Finalize()
+	// Xi returns this rank's block of the current state.
+	Xi() *state.State
+	// Counters returns algorithm-level operation counts.
+	Counters() Counters
+}
+
+// Counters tracks the algorithm-level operation counts the paper reports
+// (Section 4.4: exchanges per step 13 → 2, z-collectives 3M → 2M).
+type Counters struct {
+	Steps          int
+	HaloExchanges  int64 // neighbor-exchange rounds
+	CEvaluations   int64 // Ĉ evaluations (each is one z-collective round)
+	FilterCalls    int64 // F̃ applications (collective only when p_x > 1)
+	SmoothingCalls int64
+}
+
+// core holds the per-rank machinery shared by all integrators.
+type core struct {
+	cfg Config
+	g   *grid.Grid
+	tp  *topo.Topology
+	w   *comm.Comm
+
+	flt *filter.Filter
+	smo *operators.Smoother
+	sur *operators.Surface
+
+	xi *state.State // current ξ
+
+	// work states of the nonlinear iteration
+	psi, eta1, eta2, mid *state.State
+	tnd                  *operators.Tendency
+
+	divp  *field.F3
+	cNew  *operators.CRes
+	cLast *operators.CRes
+	advSc *operators.AdvScratch
+
+	n Counters
+}
+
+func newCore(cfg Config, g *grid.Grid, tp *topo.Topology) *core {
+	cfg.Validate()
+	if cfg.ShiftedPoleMirror && tp.Px != 1 {
+		panic("dycore: ShiftedPoleMirror requires p_x = 1 (full longitude circles per rank)")
+	}
+	b := tp.Block
+	c := &core{
+		cfg: cfg, g: g, tp: tp, w: tp.World,
+		flt:   filter.New(g, cfg.FilterCutoffDeg),
+		smo:   operators.NewSmoother(g, cfg.Beta),
+		sur:   operators.NewSurface(b),
+		xi:    state.New(b),
+		psi:   state.New(b),
+		eta1:  state.New(b),
+		eta2:  state.New(b),
+		mid:   state.New(b),
+		tnd:   operators.NewTendency(b),
+		divp:  field.NewF3(b),
+		cNew:  operators.NewCRes(b),
+		cLast: operators.NewCRes(b),
+		advSc: operators.NewAdvScratch(b),
+	}
+	for _, st := range []*state.State{c.xi, c.psi, c.eta1, c.eta2, c.mid} {
+		st.ShiftedPoles = cfg.ShiftedPoleMirror
+	}
+	return c
+}
+
+// Xi returns the current state.
+func (c *core) Xi() *state.State { return c.xi }
+
+// Counters returns the operation counts.
+func (c *core) Counters() Counters { return c.n }
+
+// exchangeFields returns the message payload of one halo exchange: the state
+// components plus the cached Ĉ fields (PW interfaces and D̄), which ride
+// along like the diagnostic components of the original model's ξ.
+func (c *core) exchangeFields(st *state.State) (f3s []*field.F3, f2s []*field.F2) {
+	f3s = append(st.F3s(), c.cLast.PWI)
+	f2s = append(st.F2s(), c.cLast.DBar)
+	return
+}
+
+// localFill refreshes all locally computable boundary values of st and of
+// the cached Ĉ fields.
+func (c *core) localFill(st *state.State) {
+	st.FillLocalBounds()
+	c.fillCBounds(c.cLast)
+}
+
+// fillCBounds refreshes the periodic-x halos of a Ĉ result (pole/vertical
+// ghosts of PWI are never read: σ̇ interfaces stay within [0, Nz], and the y
+// mirror of PWI follows the even mirror of its inputs).
+func (c *core) fillCBounds(cr *operators.CRes) {
+	if c.tp.Block.OwnsFullX() && c.tp.Block.Hx > 0 {
+		cr.PWI.FillXPeriodic()
+		cr.DBar.FillXPeriodic()
+	}
+	if c.cfg.ShiftedPoleMirror {
+		field.FillPolesYShifted(cr.PWI, field.Even, field.CenterY)
+		field.FillPolesY2Shifted(cr.DBar, field.Even)
+		return
+	}
+	field.FillPolesY(cr.PWI, field.Even, field.CenterY)
+	field.FillPolesY2(cr.DBar, field.Even)
+}
+
+// evalC evaluates Ĉ at src over the tendency rect r: D(P) on r, then the
+// z-collective summation into dst. The caller must have called
+// c.sur.Update(src.Psa) since the last change of src.Psa.
+func (c *core) evalC(src *state.State, dst *operators.CRes, r field.Rect) {
+	w1 := operators.DivP(c.g, src.U, src.V, c.sur, c.divp, r)
+	c.w.Compute(float64(w1) * costDivP)
+	w2 := operators.CSum(c.g, c.tp.ColZ, c.w, c.divp, dst, r, r.K0, r.K1)
+	c.w.Compute(float64(w2) * costCSum)
+	c.fillCBounds(dst)
+	c.n.CEvaluations++
+}
+
+// updateSurface recomputes the 2-D surface diagnostics from src's p'_sa.
+func (c *core) updateSurface(src *state.State) {
+	w := c.sur.Update(src.Psa)
+	c.w.Compute(float64(w) * costSurface)
+}
+
+// adaptTendency evaluates Â(src) + the Ĉ contributions from cres over r
+// into c.tnd.
+func (c *core) adaptTendency(src *state.State, cres *operators.CRes, r field.Rect) {
+	w := operators.Adaptation(c.g, c.cfg.Adapt, src, c.sur, cres, c.tnd, r)
+	c.w.Compute(float64(w) * costAdapt)
+}
+
+// advectTendency evaluates L̃(src) with σ̇ from cres over r into c.tnd.
+func (c *core) advectTendency(src *state.State, cres *operators.CRes, r field.Rect) {
+	w := operators.AdvectionScratch(c.g, src, c.sur, cres, c.tnd, r, c.advSc)
+	c.w.Compute(float64(w) * costAdvect)
+}
+
+// filterTendency applies F̃ to the tendency over r: the serial per-latitude
+// filter when this rank owns full circles (zero communication), otherwise
+// the distributed transpose filter over the owned region.
+func (c *core) filterTendency(r field.Rect) {
+	c.n.FilterCalls++
+	logn := math.Log2(float64(c.g.Nx))
+	if c.tp.Block.OwnsFullX() {
+		rows := 0
+		rows += c.flt.Apply(c.tnd.DU, r)
+		rows += c.flt.Apply(c.tnd.DV, r)
+		rows += c.flt.Apply(c.tnd.DPhi, r)
+		rows += c.flt.Apply2(c.tnd.DPsa, r)
+		c.w.Compute(float64(rows) * float64(c.g.Nx) * logn * costFilterRow)
+		return
+	}
+	// Distributed path: one batched transpose round-trip for all components
+	// of the tendency (like a production X-Y implementation).
+	rows := c.flt.ApplyDistBatch(c.tp, c.tnd.F3s(), c.tnd.F2s())
+	c.w.Compute(float64(rows) * float64(c.g.Nx) * logn * costFilterRow)
+}
+
+// applyUpdate sets dst ← base + dt·tendency over rect r (the tendency's
+// computed region — values outside it are stale-but-finite and are never
+// consumed), then refreshes dst's local boundary cells.
+func (c *core) applyUpdate(dst, base *state.State, dt float64, r field.Rect) {
+	field.Lin2Rect(dst.U, 1, base.U, dt, c.tnd.DU, r)
+	field.Lin2Rect(dst.V, 1, base.V, dt, c.tnd.DV, r)
+	field.Lin2Rect(dst.Phi, 1, base.Phi, dt, c.tnd.DPhi, r)
+	field.Lin2Rect2(dst.Psa, 1, base.Psa, dt, c.tnd.DPsa, r)
+	c.w.Compute(float64(4*r.Count()) * costLincomb)
+	dst.FillLocalBounds()
+}
+
+// expandInternal grows the owned rect by (dy, dz) into the halo, clamped to
+// the global domain (halo cells beyond the poles or the vertical boundaries
+// are mirror-filled, not part of compute regions).
+func (c *core) expandInternal(dy, dz int) field.Rect {
+	b := c.tp.Block
+	r := b.Owned()
+	r.J0 -= dy
+	r.J1 += dy
+	r.K0 -= dz
+	r.K1 += dz
+	if r.J0 < 0 {
+		r.J0 = 0
+	}
+	if r.J1 > c.g.Ny {
+		r.J1 = c.g.Ny
+	}
+	if r.K0 < 0 {
+		r.K0 = 0
+	}
+	if r.K1 > c.g.Nz {
+		r.K1 = c.g.Nz
+	}
+	return r
+}
+
+// shrinkInternal shrinks r by (dy, dz) on every side that is not a global
+// domain boundary (where mirror refills keep validity).
+func (c *core) shrinkInternal(r field.Rect, dy, dz int) field.Rect {
+	if r.J0 != 0 {
+		r.J0 += dy
+	}
+	if r.J1 != c.g.Ny {
+		r.J1 -= dy
+	}
+	if r.K0 != 0 {
+		r.K0 += dz
+	}
+	if r.K1 != c.g.Nz {
+		r.K1 -= dz
+	}
+	return r
+}
+
+// slabs returns outer \ inner as a list of disjoint rects (inner must be
+// contained in outer; empty slabs are dropped). Used by the overlap path:
+// the inner rect is computed while messages fly, the slabs afterwards.
+func slabs(outer, inner field.Rect) []field.Rect {
+	if inner.Empty() {
+		return []field.Rect{outer}
+	}
+	var out []field.Rect
+	add := func(r field.Rect) {
+		if !r.Empty() {
+			out = append(out, r)
+		}
+	}
+	// k-slabs below and above the inner box.
+	add(field.Rect{I0: outer.I0, I1: outer.I1, J0: outer.J0, J1: outer.J1, K0: outer.K0, K1: inner.K0})
+	add(field.Rect{I0: outer.I0, I1: outer.I1, J0: outer.J0, J1: outer.J1, K0: inner.K1, K1: outer.K1})
+	// j-slabs within the inner k range.
+	add(field.Rect{I0: outer.I0, I1: outer.I1, J0: outer.J0, J1: inner.J0, K0: inner.K0, K1: inner.K1})
+	add(field.Rect{I0: outer.I0, I1: outer.I1, J0: inner.J1, J1: outer.J1, K0: inner.K0, K1: inner.K1})
+	// i-slabs within the inner j, k ranges.
+	add(field.Rect{I0: outer.I0, I1: inner.I0, J0: inner.J0, J1: inner.J1, K0: inner.K0, K1: inner.K1})
+	add(field.Rect{I0: inner.I1, I1: outer.I1, J0: inner.J0, J1: inner.J1, K0: inner.K0, K1: inner.K1})
+	return out
+}

@@ -1,0 +1,75 @@
+package dycore
+
+import (
+	"testing"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/state"
+	"cadycore/internal/topo"
+)
+
+// TestDebugSingleUpdate compares η1 after exactly one adaptation update and
+// after one advection update across decompositions.
+func TestDebugSingleUpdate(t *testing.T) {
+	g := testGrid()
+	cfg := testCfg(1)
+
+	type phase int
+	const (
+		phAdapt phase = iota
+		phAdvect
+		phSmooth
+	)
+
+	runOne := func(py int, ph phase) []*state.State {
+		w := comm.NewWorld(py, comm.Zero())
+		finals := make([]*state.State, py)
+		w.Run(func(c *comm.Comm) {
+			hx, hy, hz := BaselineHalo()
+			tp := topo.New(c, g, 1, py, 1, hx, hy, hz)
+			b := NewBaseline(cfg, g, tp)
+			st := state.New(tp.Block)
+			testInit(g, st)
+			b.SetState(st)
+			switch ph {
+			case phAdapt:
+				b.adaptUpdate(b.eta1, b.xi, b.xi)
+			case phAdvect:
+				b.advectUpdate(b.eta1, b.xi, b.xi)
+			case phSmooth:
+				f3, f2 := b.exchangeFields(b.xi)
+				b.exSmooth.Exchange(f3, f2)
+				b.localFill(b.xi)
+				b.smo.SmoothFull(b.xi, b.eta1, tp.Block.Owned())
+			}
+			finals[c.Rank()] = b.eta1
+		})
+		return finals
+	}
+
+	for _, ph := range []phase{phAdapt, phAdvect, phSmooth} {
+		a := runOne(1, ph)
+		b := runOne(2, ph)
+		if d := MaxDiffGlobal(g, a, b); d != 0 {
+			t.Errorf("phase %d: single update differs by %g", ph, d)
+			fa := FlattenState(g, a)
+			fb := FlattenState(g, b)
+			n3 := g.Nx * g.Ny * g.Nz
+			names := []string{"U", "V", "Phi", "Psa"}
+			count := 0
+			for i := range fa {
+				if fa[i] != fb[i] && count < 10 {
+					comp, rem := 3, i-3*n3
+					if i < 3*n3 {
+						comp, rem = i/n3, i%n3
+					}
+					k := rem / (g.Nx * g.Ny)
+					j := (rem / g.Nx) % g.Ny
+					ii := rem % g.Nx
+					t.Logf("%s(%d,%d,%d): %v vs %v", names[comp], ii, j, k, fa[i], fb[i])
+					count++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package dycore
+
+import (
+	"fmt"
+	"testing"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/state"
+)
+
+// TestDebugLocateDivergence is a diagnostic aid: it reports where the first
+// cross-decomposition difference appears. Skipped unless it finds one at a
+// configuration that must match bitwise.
+func TestDebugLocateDivergence(t *testing.T) {
+	g := testGrid()
+	cfg := testCfg(1)
+	for steps := 1; steps <= 2; steps++ {
+		serial := Run(Setup{Alg: AlgBaselineYZ, PA: 1, PB: 1, Cfg: cfg}, g, comm.Zero(), testInit, steps)
+		par := Run(Setup{Alg: AlgBaselineYZ, PA: 2, PB: 1, Cfg: cfg}, g, comm.Zero(), testInit, steps)
+		d := MaxDiffGlobal(g, serial.Finals, par.Finals)
+		if d == 0 {
+			continue
+		}
+		t.Logf("steps=%d maxdiff=%g", steps, d)
+		report(t, g, serial.Finals, par.Finals)
+		t.FailNow()
+	}
+}
+
+func report(t *testing.T, g interface {
+	Points() int
+}, a, b []*state.State) {
+	gg := testGrid()
+	fa := FlattenState(gg, a)
+	fb := FlattenState(gg, b)
+	n3 := gg.Nx * gg.Ny * gg.Nz
+	names := []string{"U", "V", "Phi", "Psa"}
+	count := 0
+	for i := range fa {
+		if fa[i] != fb[i] && count < 12 {
+			comp := 3
+			rem := i
+			if i < 3*n3 {
+				comp = i / n3
+				rem = i % n3
+			} else {
+				rem = i - 3*n3
+			}
+			k := rem / (gg.Nx * gg.Ny)
+			j := (rem / gg.Nx) % gg.Ny
+			ii := rem % gg.Nx
+			t.Logf("%s(%d,%d,%d): %v vs %v (diff %g)", names[comp], ii, j, k, fa[i], fb[i], fa[i]-fb[i])
+			count++
+		}
+	}
+	fmt.Println("total diffs:", count)
+}

@@ -1,0 +1,159 @@
+package dycore
+
+import (
+	"math"
+	"testing"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/diag"
+	"cadycore/internal/grid"
+	"cadycore/internal/heldsuarez"
+	"cadycore/internal/state"
+)
+
+// TestHeldSuarezStability runs the H-S benchmark (the paper's Section 5.1
+// workload) for several model hours on the communication-avoiding algorithm
+// and checks the run stays physical: finite fields, bounded winds, small
+// dry-mass drift, bounded temperatures.
+func TestHeldSuarezStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	g := grid.New(48, 24, 8)
+	cfg := DefaultConfig()
+	cfg.Dt1, cfg.Dt2 = 60, 360
+	const steps = 60 // 6 model hours
+
+	hs := heldsuarez.Standard()
+	hook := func(g *grid.Grid, st *state.State, step int) {
+		hs.Apply(g, st, cfg.Dt2)
+		if step%20 == 19 && !st.AllFinite() {
+			t.Errorf("state went non-finite at step %d", step)
+		}
+	}
+	set := Setup{Alg: AlgCommAvoid, PA: 2, PB: 2, Cfg: cfg}
+	res := RunWithHook(set, g, comm.Zero(), heldsuarez.InitialState, steps, hook)
+
+	if !diag.AllFinite(res.Finals) {
+		t.Fatal("final state not finite")
+	}
+	if mw := diag.MaxWind(g, res.Finals); mw > 200 {
+		t.Errorf("max wind %v m/s unphysical", mw)
+	}
+	mass0 := heldSuarezInitialMass(g)
+	mass := diag.GlobalDryMass(g, res.Finals)
+	if drift := math.Abs(mass-mass0) / mass0; drift > 0.01 {
+		t.Errorf("dry mass drifted by %.3f%%", 100*drift)
+	}
+	// Temperatures stay within physical bounds.
+	tbar := diag.ZonalMeanT(g, res.Finals)
+	for k := range tbar {
+		for j := range tbar[k] {
+			if tbar[k][j] < 150 || tbar[k][j] > 350 {
+				t.Fatalf("T̄(%d,%d) = %v K unphysical", k, j, tbar[k][j])
+			}
+		}
+	}
+}
+
+func heldSuarezInitialMass(g *grid.Grid) float64 {
+	set := Setup{Alg: AlgBaselineYZ, PA: 1, PB: 1, Cfg: DefaultConfig()}
+	res := Run(set, g, comm.Zero(), heldsuarez.InitialState, 0)
+	return diag.GlobalDryMass(g, res.Finals)
+}
+
+// TestHeldSuarezCirculationDevelops verifies the H-S forcing actually spins
+// the model up: after a day, kinetic energy is clearly above zero and the
+// meridional temperature gradient is established.
+func TestHeldSuarezCirculationDevelops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	g := grid.New(48, 24, 8)
+	cfg := DefaultConfig()
+	cfg.Dt1, cfg.Dt2 = 60, 360
+	const steps = 240 // one model day
+
+	hs := heldsuarez.Standard()
+	hook := func(g *grid.Grid, st *state.State, step int) { hs.Apply(g, st, cfg.Dt2) }
+	set := Setup{Alg: AlgCommAvoid, PA: 2, PB: 1, Cfg: cfg}
+	res := RunWithHook(set, g, comm.Zero(), heldsuarez.InitialState, steps, hook)
+
+	if !diag.AllFinite(res.Finals) {
+		t.Fatal("unstable")
+	}
+	if ke := diag.KineticEnergy(g, res.Finals); ke <= 0 {
+		t.Errorf("no circulation developed: KE = %v", ke)
+	}
+	if mw := diag.MaxWind(g, res.Finals); mw < 0.5 || mw > 200 {
+		t.Errorf("max wind %v m/s after one day implausible", mw)
+	}
+	tbar := diag.ZonalMeanT(g, res.Finals)
+	kSfc := g.Nz - 1
+	eq := tbar[kSfc][g.Ny/2]
+	pole := tbar[kSfc][0]
+	if eq-pole < 20 {
+		t.Errorf("equator-pole contrast %v K too weak", eq-pole)
+	}
+}
+
+// TestAlgorithmsAgreeOnHeldSuarez compares the three algorithms on the real
+// workload after several steps: the approximate iteration's deviation must
+// stay small relative to the fields.
+func TestAlgorithmsAgreeOnHeldSuarez(t *testing.T) {
+	g := grid.New(32, 16, 6)
+	cfg := DefaultConfig()
+	cfg.Dt1, cfg.Dt2 = 60, 360
+	const steps = 5
+	hs := heldsuarez.Standard()
+	hook := func(g *grid.Grid, st *state.State, step int) { hs.Apply(g, st, cfg.Dt2) }
+
+	yz := RunWithHook(Setup{Alg: AlgBaselineYZ, PA: 2, PB: 2, Cfg: cfg}, g, comm.Zero(), heldsuarez.InitialState, steps, hook)
+	xy := RunWithHook(Setup{Alg: AlgBaselineXY, PA: 2, PB: 2, Cfg: cfg}, g, comm.Zero(), heldsuarez.InitialState, steps, hook)
+	ca := RunWithHook(Setup{Alg: AlgCommAvoid, PA: 2, PB: 2, Cfg: cfg}, g, comm.Zero(), heldsuarez.InitialState, steps, hook)
+
+	if d := MaxDiffGlobal(g, yz.Finals, xy.Finals); d > 1e-8 {
+		t.Errorf("X-Y and Y-Z baselines differ by %v on H-S", d)
+	}
+	scale := maxAbsVec(FlattenState(g, yz.Finals))
+	if d := MaxDiffGlobal(g, yz.Finals, ca.Finals); d > 1e-3*scale {
+		t.Errorf("CA deviates from baseline by %v (scale %v) on H-S", d, scale)
+	}
+}
+
+// TestEnergyNotGrowing: without forcing, the discrete dynamical core must
+// not generate energy — the smoothing and the polar filter only remove it,
+// and the IAP tensor transform makes Σ(U² + V² + Φ² + (b·p'_sa/p0)²) the
+// conserved quadratic form of the continuous equations (the property the
+// lat-lon finite-difference core exists to respect).
+func TestEnergyNotGrowing(t *testing.T) {
+	g := grid.New(32, 16, 6)
+	cfg := DefaultConfig()
+	cfg.Dt1, cfg.Dt2 = 30, 180
+
+	init := func(gg *grid.Grid, st *state.State) {
+		st.InitFromPhysical(gg,
+			func(lam, th, sig float64) float64 { return 15 * math.Sin(th) * math.Sin(th) },
+			func(lam, th, sig float64) float64 { return math.Sin(2*lam) * math.Sin(th) * math.Sin(th) },
+			func(lam, th, sig float64) float64 { return 270 + 5*math.Cos(th) + math.Cos(3*lam) },
+			func(lam, th float64) float64 { return 100000 + 100*math.Sin(lam)*math.Sin(th) },
+		)
+	}
+	set := Setup{Alg: AlgCommAvoid, PA: 2, PB: 2, Cfg: cfg}
+
+	e0run := Run(set, g, comm.Zero(), init, 0)
+	e0 := diag.TotalEnergy(g, e0run.Finals)
+
+	prev := e0
+	for _, steps := range []int{5, 10, 20} {
+		res := Run(set, g, comm.Zero(), init, steps)
+		e := diag.TotalEnergy(g, res.Finals)
+		if e > prev*1.02 {
+			t.Errorf("energy grew from %g to %g after %d steps", prev, e, steps)
+		}
+		prev = e
+	}
+	if prev > e0*1.02 {
+		t.Errorf("net energy growth: %g -> %g", e0, prev)
+	}
+}

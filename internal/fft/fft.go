@@ -1,0 +1,231 @@
+// Package fft implements the one-dimensional fast Fourier transforms the
+// Fourier polar filter is built on: an iterative radix-2 transform for
+// power-of-two lengths and Bluestein's chirp-z algorithm for arbitrary
+// lengths, plus real-signal helpers. Only the standard library is used.
+//
+// Plans cache twiddle factors and bit-reversal tables per length; a Plan is
+// safe for concurrent use once constructed (all mutable state lives in
+// caller-provided or per-call buffers).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Plan holds the precomputed tables for transforms of one length.
+type Plan struct {
+	n int
+
+	// radix-2 path (n power of two)
+	pow2    bool
+	rev     []int          // bit-reversal permutation
+	twiddle []complex128   // stage twiddles, concatenated
+
+	// Bluestein path (any n)
+	chirp   []complex128 // w_k = exp(-iπk²/n)
+	bconv   []complex128 // FFT of the chirp convolution kernel (length m)
+	bplan   *Plan        // radix-2 plan of length m ≥ 2n−1
+	m       int
+}
+
+// NewPlan prepares a transform of length n ≥ 1.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid length %d", n))
+	}
+	p := &Plan{n: n}
+	if n&(n-1) == 0 {
+		p.pow2 = true
+		p.buildRadix2()
+		return p
+	}
+	p.buildBluestein()
+	return p
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+func (p *Plan) buildRadix2() {
+	n := p.n
+	p.rev = make([]int, n)
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < logn; b++ {
+			r = (r << 1) | ((i >> b) & 1)
+		}
+		p.rev[i] = r
+	}
+	// Twiddles for each stage: stage of half-size h uses w^j = exp(-2πij/(2h)).
+	total := 0
+	for h := 1; h < n; h *= 2 {
+		total += h
+	}
+	p.twiddle = make([]complex128, total)
+	off := 0
+	for h := 1; h < n; h *= 2 {
+		for j := 0; j < h; j++ {
+			ang := -math.Pi * float64(j) / float64(h)
+			p.twiddle[off+j] = cmplx.Exp(complex(0, ang))
+		}
+		off += h
+	}
+}
+
+func (p *Plan) buildBluestein() {
+	n := p.n
+	p.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k² mod 2n avoids precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := -math.Pi * float64(kk) / float64(n)
+		p.chirp[k] = cmplx.Exp(complex(0, ang))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m *= 2
+	}
+	p.m = m
+	p.bplan = NewPlan(m)
+	// Convolution kernel b_k = conj(chirp)_|k| wrapped.
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		c := cmplx.Conj(p.chirp[k])
+		b[k] = c
+		if k > 0 {
+			b[m-k] = c
+		}
+	}
+	p.bplan.forwardPow2(b)
+	p.bconv = b
+}
+
+// Forward computes the in-place forward DFT
+// X_k = Σ_j x_j · exp(−2πi·jk/n).
+func (p *Plan) Forward(x []complex128) {
+	p.checkLen(x)
+	if p.pow2 {
+		p.forwardPow2(x)
+		return
+	}
+	p.bluestein(x)
+}
+
+// Inverse computes the in-place inverse DFT (with the 1/n normalization),
+// so Inverse(Forward(x)) == x.
+func (p *Plan) Inverse(x []complex128) {
+	p.checkLen(x)
+	n := p.n
+	// inverse via conjugation: IDFT(x) = conj(DFT(conj(x)))/n
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	p.Forward(x)
+	inv := 1 / float64(n)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * complex(inv, 0)
+	}
+}
+
+func (p *Plan) checkLen(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: input length %d != plan length %d", len(x), p.n))
+	}
+}
+
+// forwardPow2 is the iterative Cooley–Tukey kernel.
+func (p *Plan) forwardPow2(x []complex128) {
+	n := len(x)
+	for i, r := range p.rev {
+		if i < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	off := 0
+	for h := 1; h < n; h *= 2 {
+		tw := p.twiddle[off : off+h]
+		for s := 0; s < n; s += 2 * h {
+			for j := 0; j < h; j++ {
+				a := x[s+j]
+				b := x[s+j+h] * tw[j]
+				x[s+j] = a + b
+				x[s+j+h] = a - b
+			}
+		}
+		off += h
+	}
+}
+
+// bluestein evaluates the DFT of arbitrary length as a convolution.
+func (p *Plan) bluestein(x []complex128) {
+	n, m := p.n, p.m
+	a := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * p.chirp[k]
+	}
+	p.bplan.forwardPow2(a)
+	for k := 0; k < m; k++ {
+		a[k] *= p.bconv[k]
+	}
+	// inverse length-m transform of a
+	for i := range a {
+		a[i] = cmplx.Conj(a[i])
+	}
+	p.bplan.forwardPow2(a)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = p.chirp[k] * cmplx.Conj(a[k]) * scale
+	}
+}
+
+// ForwardReal transforms a real signal into its n complex coefficients
+// (dst may be nil; the coefficient slice is returned).
+func (p *Plan) ForwardReal(src []float64, dst []complex128) []complex128 {
+	if len(src) != p.n {
+		panic(fmt.Sprintf("fft: input length %d != plan length %d", len(src), p.n))
+	}
+	if dst == nil {
+		dst = make([]complex128, p.n)
+	}
+	for i, v := range src {
+		dst[i] = complex(v, 0)
+	}
+	p.Forward(dst)
+	return dst
+}
+
+// InverseToReal inverts coefficients into dst, discarding the (numerically
+// tiny, for conjugate-symmetric spectra) imaginary parts.
+func (p *Plan) InverseToReal(coef []complex128, dst []float64) {
+	if len(coef) != p.n || len(dst) != p.n {
+		panic("fft: length mismatch in InverseToReal")
+	}
+	tmp := make([]complex128, p.n)
+	copy(tmp, coef)
+	p.Inverse(tmp)
+	for i := range dst {
+		dst[i] = real(tmp[i])
+	}
+}
+
+// NaiveDFT computes the forward DFT directly in O(n²); it exists as the
+// reference for tests.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}

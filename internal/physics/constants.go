@@ -1,0 +1,121 @@
+// Package physics collects the physical constants, reference (standard
+// stratification) profiles and simple pointwise physical relations used by
+// the IAP-AGCM 4.0 dynamical core, following Section 2.1 of Xiao et al.,
+// "Communication-Avoiding for Dynamical Core of Atmospheric General
+// Circulation Model" (ICPP 2018).
+//
+// The dynamical core works with the transformed prognostic variables
+//
+//	U  = P u,   V = P v,   Φ = P R (T − T̃) / b,   p'_sa = p_s − p̃_s,
+//
+// where P = sqrt(p_es/p0) and p_es = p_s − p_t. All constants here are in SI
+// units unless stated otherwise.
+package physics
+
+import "math"
+
+// Fundamental constants of the model (paper Section 2.1).
+const (
+	// EarthRadius is the mean radius of the earth, a (m).
+	EarthRadius = 6.371e6
+
+	// Omega is the angular velocity of the earth's rotation (rad/s).
+	Omega = 7.292e-5
+
+	// Rd is the gas constant for dry air, R (J/(kg·K)).
+	Rd = 287.04
+
+	// Cp is the specific heat of dry air at constant pressure (J/(kg·K)).
+	Cp = 1004.64
+
+	// Kappa is R/cp, the adiabatic exponent κ.
+	Kappa = Rd / Cp
+
+	// B is the characteristic velocity of gravity-wave propagation in the
+	// standard atmosphere, b = 87.8 m/s (paper Section 2.1).
+	B = 87.8
+
+	// P0 is the reference surface pressure p0 = 1000 hPa (Pa).
+	P0 = 100000.0
+
+	// Pt is the pressure at the model top layer, p_t = 2.2 hPa (Pa).
+	Pt = 220.0
+
+	// Ksa is the dissipation coefficient k_sa in the D_sa term (paper eq. 6).
+	Ksa = 0.1
+
+	// Gravity is the standard gravitational acceleration (m/s²).
+	Gravity = 9.80616
+)
+
+// StandardSurfacePressure is the standard-stratification surface pressure
+// p̃_s (Pa). The paper subtracts a standard stratification from the state; we
+// use the reference pressure p0 as the standard surface pressure, so p'_sa is
+// the deviation of p_s from 1000 hPa.
+const StandardSurfacePressure = P0
+
+// StandardSurfaceTemperature is T̃_s, the standard-stratification temperature
+// at the surface (K).
+const StandardSurfaceTemperature = 288.15
+
+// StandardLapseRate is the tropospheric lapse rate of the standard
+// stratification (K/m), used to build T̃(σ).
+const StandardLapseRate = 6.5e-3
+
+// StandardStratosphereT is the isothermal temperature of the standard
+// stratification above the tropopause (K).
+const StandardStratosphereT = 216.65
+
+// StandardTemperature returns the standard-stratification temperature T̃ at a
+// given σ level (σ = (p − p_t)/p_es with p_es referenced to p̃_s). The profile
+// is the US-standard-like piecewise profile: linear lapse in the troposphere,
+// isothermal stratosphere. It is smooth, monotone in σ and strictly positive,
+// which is all the dynamical core requires of T̃.
+func StandardTemperature(sigma float64) float64 {
+	// Pressure corresponding to sigma on the standard stratification.
+	p := sigma*(StandardSurfacePressure-Pt) + Pt
+	// Invert the hydrostatic relation for a constant-lapse-rate atmosphere:
+	// T = Ts * (p/ps)^(R*gamma/g).
+	expo := Rd * StandardLapseRate / Gravity
+	t := StandardSurfaceTemperature * math.Pow(p/StandardSurfacePressure, expo)
+	if t < StandardStratosphereT {
+		t = StandardStratosphereT
+	}
+	return t
+}
+
+// StandardDensitySurface returns ρ̃_sa = p̃_s / (R·T̃_s), the density of the
+// standard atmosphere at the surface (paper eq. 6).
+func StandardDensitySurface() float64 {
+	return StandardSurfacePressure / (Rd * StandardSurfaceTemperature)
+}
+
+// PFromPs returns P = sqrt(p_es/p0) with p_es = p_s − p_t (paper eq. 1).
+func PFromPs(ps float64) float64 {
+	pes := ps - Pt
+	if pes < 0 {
+		pes = 0
+	}
+	return math.Sqrt(pes / P0)
+}
+
+// PesFromPs returns p_es = p_s − p_t.
+func PesFromPs(ps float64) float64 { return ps - Pt }
+
+// CoriolisFStar returns f* = 2Ω cosθ + u cotθ / a evaluated with colatitude
+// θ ∈ (0, π) (paper Section 2.1; the paper's θ is colatitude: sinθ appears as
+// the metric factor, which vanishes at the poles).
+func CoriolisFStar(theta, u float64) float64 {
+	return 2*Omega*math.Cos(theta) + u*math.Cos(theta)/(math.Sin(theta)*EarthRadius)
+}
+
+// TemperatureFromPhi inverts the tensor transform for temperature:
+// T = T̃ + b·Φ/(P·R). P must be strictly positive.
+func TemperatureFromPhi(phi, p, tTilde float64) float64 {
+	return tTilde + B*phi/(p*Rd)
+}
+
+// PhiFromTemperature applies the tensor transform Φ = P·R·(T − T̃)/b.
+func PhiFromTemperature(t, p, tTilde float64) float64 {
+	return p * Rd * (t - tTilde) / B
+}

@@ -1,0 +1,87 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardTemperatureProfile(t *testing.T) {
+	// Surface value.
+	if ts := StandardTemperature(1); math.Abs(ts-StandardSurfaceTemperature) > 0.5 {
+		t.Errorf("T̃(σ=1) = %v, want ≈ %v", ts, StandardSurfaceTemperature)
+	}
+	// Monotone non-decreasing with σ, floored by the stratosphere value.
+	prev := 0.0
+	for s := 0.0; s <= 1.0; s += 0.01 {
+		v := StandardTemperature(s)
+		if v < StandardStratosphereT-1e-9 {
+			t.Fatalf("T̃(%v) = %v below the stratosphere floor", s, v)
+		}
+		if v < prev-1e-9 {
+			t.Fatalf("T̃ not monotone at σ=%v", s)
+		}
+		prev = v
+	}
+	// Model top is stratospheric.
+	if v := StandardTemperature(0); v != StandardStratosphereT {
+		t.Errorf("T̃(0) = %v, want %v", v, StandardStratosphereT)
+	}
+}
+
+func TestPFromPs(t *testing.T) {
+	// At standard surface pressure P ≈ sqrt((p0−pt)/p0) ≈ 0.9989.
+	want := math.Sqrt((P0 - Pt) / P0)
+	if p := PFromPs(P0); math.Abs(p-want) > 1e-12 {
+		t.Errorf("P(p0) = %v, want %v", p, want)
+	}
+	// Clamped at the model top.
+	if p := PFromPs(Pt - 100); p != 0 {
+		t.Errorf("P below top = %v, want 0", p)
+	}
+	if p := PFromPs(Pt); p != 0 {
+		t.Errorf("P(pt) = %v, want 0", p)
+	}
+}
+
+func TestPhiTemperatureRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tval := 180 + float64(seed%150)
+		p := 0.5 + float64(seed%97)/200
+		tTil := 250.0
+		phi := PhiFromTemperature(tval, p, tTil)
+		back := TemperatureFromPhi(phi, p, tTil)
+		return math.Abs(back-tval) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoriolisFStar(t *testing.T) {
+	// At the equator (θ = π/2): cos θ = 0, so f* = 0 regardless of u.
+	if f := CoriolisFStar(math.Pi/2, 50); math.Abs(f) > 1e-18 {
+		t.Errorf("f* at equator = %v", f)
+	}
+	// Near the north pole f* → 2Ω for u = 0.
+	if f := CoriolisFStar(0.01, 0); math.Abs(f-2*Omega) > 1e-7 {
+		t.Errorf("f* near pole = %v, want %v", f, 2*Omega)
+	}
+	// Antisymmetric about the equator for u = 0.
+	if f1, f2 := CoriolisFStar(1.0, 0), CoriolisFStar(math.Pi-1.0, 0); math.Abs(f1+f2) > 1e-18 {
+		t.Errorf("f* not antisymmetric: %v vs %v", f1, f2)
+	}
+}
+
+func TestStandardDensity(t *testing.T) {
+	rho := StandardDensitySurface()
+	if rho < 1.1 || rho > 1.3 {
+		t.Errorf("surface density %v kg/m³ unphysical", rho)
+	}
+}
+
+func TestKappa(t *testing.T) {
+	if math.Abs(Kappa-2.0/7.0) > 0.01 {
+		t.Errorf("κ = %v, want ≈ 2/7", Kappa)
+	}
+}

@@ -1,0 +1,174 @@
+package state
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cadycore/internal/field"
+	"cadycore/internal/grid"
+	"cadycore/internal/physics"
+)
+
+func testGrid() *grid.Grid { return grid.New(16, 10, 4) }
+
+func testBlock(g *grid.Grid) field.Block {
+	return field.Block{
+		Nx: g.Nx, Ny: g.Ny, Nz: g.Nz,
+		I0: 0, I1: g.Nx, J0: 0, J1: g.Ny, K0: 0, K1: g.Nz,
+		Hx: 3, Hy: 2, Hz: 1,
+	}
+}
+
+func TestNewZeroState(t *testing.T) {
+	st := New(testBlock(testGrid()))
+	if !st.AllFinite() {
+		t.Fatal("fresh state not finite")
+	}
+	if field.SumOwned(st.U) != 0 {
+		t.Fatal("fresh state not zero")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	st := New(testBlock(testGrid()))
+	st.U.Set(3, 3, 1, 7)
+	cl := st.Clone()
+	cl.U.Set(3, 3, 1, -7)
+	if st.U.At(3, 3, 1) != 7 {
+		t.Fatal("clone aliases the original")
+	}
+}
+
+func TestLinearCombination(t *testing.T) {
+	g := testGrid()
+	b := testBlock(g)
+	rng := rand.New(rand.NewSource(1))
+	x, y := New(b), New(b)
+	for i := range x.U.Data {
+		x.U.Data[i] = rng.NormFloat64()
+		y.U.Data[i] = rng.NormFloat64()
+	}
+	s := New(b)
+	s.Lin2(2, x, 3, y)
+	for i := range s.U.Data {
+		if s.U.Data[i] != 2*x.U.Data[i]+3*y.U.Data[i] {
+			t.Fatal("Lin2 wrong on U")
+		}
+	}
+	m := New(b)
+	m.Mean2(x, y)
+	for i := range m.U.Data {
+		if m.U.Data[i] != 0.5*(x.U.Data[i]+y.U.Data[i]) {
+			t.Fatal("Mean2 wrong")
+		}
+	}
+	// Axpy: s2 = x + 1·y == Lin2(1, x, 1, y).
+	s2 := x.Clone()
+	s2.Axpy(1, y)
+	ref := New(b)
+	ref.Lin2(1, x, 1, y)
+	if s2.MaxAbsDiff(ref) != 0 {
+		t.Fatal("Axpy differs from Lin2")
+	}
+}
+
+func TestLin2RectRestricted(t *testing.T) {
+	g := testGrid()
+	b := testBlock(g)
+	x, y := New(b), New(b)
+	for i := range x.U.Data {
+		x.U.Data[i] = 1
+		y.U.Data[i] = 2
+	}
+	s := New(b)
+	r := field.Rect{I0: 0, I1: g.Nx, J0: 2, J1: 5, K0: 1, K1: 3}
+	s.Lin2Rect(1, x, 1, y, r)
+	if s.U.At(0, 3, 2) != 3 {
+		t.Error("inside rect not updated")
+	}
+	if s.U.At(0, 6, 2) != 0 {
+		t.Error("outside rect was touched")
+	}
+}
+
+func TestInitFromPhysicalRoundTrip(t *testing.T) {
+	g := testGrid()
+	st := New(testBlock(g))
+	st.InitFromPhysical(g,
+		func(lam, th, sig float64) float64 { return 10 },
+		func(lam, th, sig float64) float64 { return 0 },
+		func(lam, th, sig float64) float64 { return 280 },
+		func(lam, th float64) float64 { return 100000 },
+	)
+	// Psa must be ps − p̃s = 0.
+	if st.Psa.At(3, 4) != 0 {
+		t.Errorf("psa = %v, want 0", st.Psa.At(3, 4))
+	}
+	// U = P·u with P ≈ 0.9989.
+	p := physics.PFromPs(100000)
+	if math.Abs(st.U.At(3, 4, 2)-10*p) > 1e-12 {
+		t.Errorf("U = %v, want %v", st.U.At(3, 4, 2), 10*p)
+	}
+	// Temperature roundtrip through Φ.
+	tTil := physics.StandardTemperature(g.Sigma[2])
+	back := physics.TemperatureFromPhi(st.Phi.At(3, 4, 2), p, tTil)
+	if math.Abs(back-280) > 1e-9 {
+		t.Errorf("T roundtrip = %v, want 280", back)
+	}
+	// V at the pole row stays zero.
+	if st.V.At(3, 0, 2) != 0 {
+		t.Errorf("V at pole = %v", st.V.At(3, 0, 2))
+	}
+}
+
+func TestFillLocalBounds(t *testing.T) {
+	g := testGrid()
+	st := New(testBlock(g))
+	st.InitFromPhysical(g,
+		func(lam, th, sig float64) float64 { return 5 * math.Sin(th) },
+		func(lam, th, sig float64) float64 { return math.Sin(th) },
+		func(lam, th, sig float64) float64 { return 270 },
+		func(lam, th float64) float64 { return 100000 + 100*math.Cos(lam) },
+	)
+	st.FillLocalBounds()
+	// Periodic x.
+	if st.U.At(-1, 3, 1) != st.U.At(g.Nx-1, 3, 1) {
+		t.Error("x periodicity broken for U")
+	}
+	if st.Psa.At(g.Nx, 3) != st.Psa.At(0, 3) {
+		t.Error("x periodicity broken for Psa")
+	}
+	// Pole mirrors: U odd, Phi even.
+	if st.U.At(2, -1, 1) != -st.U.At(2, 0, 1) {
+		t.Error("U pole mirror not odd")
+	}
+	if st.Phi.At(2, -1, 1) != st.Phi.At(2, 0, 1) {
+		t.Error("Phi pole mirror not even")
+	}
+	// Vertical mirrors.
+	if st.Phi.At(2, 3, -1) != st.Phi.At(2, 3, 0) {
+		t.Error("Phi vertical mirror broken")
+	}
+	// V pole row zeroed.
+	if st.V.At(2, 0, 1) != 0 {
+		t.Error("V pole row not zero after fill")
+	}
+}
+
+func TestMaxAbsDiffAndFinite(t *testing.T) {
+	g := testGrid()
+	b := testBlock(g)
+	a, c := New(b), New(b)
+	if a.MaxAbsDiff(c) != 0 {
+		t.Fatal("identical states differ")
+	}
+	c.Phi.Set(4, 4, 2, 3)
+	if d := a.MaxAbsDiff(c); d != 3 {
+		t.Fatalf("MaxAbsDiff = %v, want 3", d)
+	}
+	c.Psa.Set(1, 1, math.Inf(1))
+	if c.AllFinite() {
+		t.Fatal("Inf not detected")
+	}
+}

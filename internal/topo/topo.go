@@ -1,0 +1,114 @@
+// Package topo maps the global latitude–longitude mesh onto a Cartesian
+// process grid and provides the halo-exchange engines the stencil operators
+// use. It supports the three decompositions the paper analyzes:
+//
+//	X-Y decomposition: p = px·py, pz = 1 — avoids the z collective, pays a
+//	  distributed FFT in the Fourier filter (Section 4.2).
+//	Y-Z decomposition: p = py·pz, px = 1 — the filter becomes local; used by
+//	  both the baseline Y-Z algorithm and the communication-avoiding one.
+//	General 3-D grids are also representable (px·py·pz).
+//
+// The exchange engine is fully general in halo depth: each rank sends to and
+// receives from exactly the set of ranks whose owned regions intersect its
+// halo region (with longitude periodicity), so the communication-avoiding
+// deep halos (3M layers) work even when they span more than one neighboring
+// block. With depth ≤ block extent this reduces to the paper's 8-neighbor
+// scheme in the decomposed plane.
+package topo
+
+import (
+	"fmt"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/field"
+	"cadycore/internal/grid"
+)
+
+// Topology is one rank's view of the process grid and its block of the mesh.
+type Topology struct {
+	G          *grid.Grid
+	Px, Py, Pz int
+	// World is the communicator spanning all px·py·pz ranks.
+	World *comm.Comm
+	// Cx, Cy, Cz are this rank's coordinates in the process grid.
+	Cx, Cy, Cz int
+	// RowX spans the ranks sharing (Cy, Cz), ordered by Cx: the communicator
+	// of the distributed Fourier filter. Size 1 under Y-Z decomposition.
+	RowX *comm.Comm
+	// ColZ spans the ranks sharing (Cx, Cy), ordered by Cz: the communicator
+	// of the vertical summation Ĉ. Size 1 under X-Y decomposition.
+	ColZ *comm.Comm
+	// Block is the owned sub-box including the allocated halo widths.
+	Block field.Block
+}
+
+// New builds the topology for the calling rank. The communicator's size must
+// equal px·py·pz; hx, hy, hz are the halo widths to allocate (they bound the
+// exchange depths usable later). Ranks are laid out x-fastest:
+// rank = (cz·py + cy)·px + cx.
+func New(c *comm.Comm, g *grid.Grid, px, py, pz, hx, hy, hz int) *Topology {
+	p := c.Size()
+	if px*py*pz != p {
+		panic(fmt.Sprintf("topo: process grid %dx%dx%d != communicator size %d", px, py, pz, p))
+	}
+	if px > g.Nx || py > g.Ny || pz > g.Nz {
+		panic(fmt.Sprintf("topo: process grid %dx%dx%d exceeds mesh %dx%dx%d",
+			px, py, pz, g.Nx, g.Ny, g.Nz))
+	}
+	r := c.Rank()
+	cx := r % px
+	cy := (r / px) % py
+	cz := r / (px * py)
+
+	t := &Topology{
+		G: g, Px: px, Py: py, Pz: pz,
+		World: c,
+		Cx:    cx, Cy: cy, Cz: cz,
+	}
+	t.Block = field.Block{
+		Nx: g.Nx, Ny: g.Ny, Nz: g.Nz,
+		I0: cx * g.Nx / px, I1: (cx + 1) * g.Nx / px,
+		J0: cy * g.Ny / py, J1: (cy + 1) * g.Ny / py,
+		K0: cz * g.Nz / pz, K1: (cz + 1) * g.Nz / pz,
+		Hx: hx, Hy: hy, Hz: hz,
+	}
+	t.Block.Validate()
+
+	// Sub-communicators. Split is collective; every rank calls both splits
+	// in the same order.
+	t.RowX = c.Split(cz*py+cy, cx)
+	t.ColZ = c.Split(cy*px+cx, cz)
+	return t
+}
+
+// BlockOf returns the owned block of an arbitrary rank (same halo widths).
+func (t *Topology) BlockOf(rank int) field.Block {
+	px, py := t.Px, t.Py
+	g := t.G
+	cx := rank % px
+	cy := (rank / px) % py
+	cz := rank / (px * py)
+	return field.Block{
+		Nx: g.Nx, Ny: g.Ny, Nz: g.Nz,
+		I0: cx * g.Nx / px, I1: (cx + 1) * g.Nx / px,
+		J0: cy * g.Ny / py, J1: (cy + 1) * g.Ny / py,
+		K0: cz * g.Nz / t.Pz, K1: (cz + 1) * g.Nz / t.Pz,
+		Hx: t.Block.Hx, Hy: t.Block.Hy, Hz: t.Block.Hz,
+	}
+}
+
+// CoordsOf returns the process-grid coordinates of a rank.
+func (t *Topology) CoordsOf(rank int) (cx, cy, cz int) {
+	return rank % t.Px, (rank / t.Px) % t.Py, rank / (t.Px * t.Py)
+}
+
+// RankAt returns the rank at process-grid coordinates.
+func (t *Topology) RankAt(cx, cy, cz int) int {
+	return (cz*t.Py+cy)*t.Px + cx
+}
+
+// String implements fmt.Stringer.
+func (t *Topology) String() string {
+	return fmt.Sprintf("topo %dx%dx%d rank(%d,%d,%d) block %v",
+		t.Px, t.Py, t.Pz, t.Cx, t.Cy, t.Cz, t.Block.Owned())
+}
