@@ -73,6 +73,7 @@ func runCell(b *testing.B, alg dycore.Algorithm, p int, mut func(*dycore.Config)
 	hs := heldsuarez.Standard()
 	hook := func(g *grid.Grid, st *state.State, step int) { hs.Apply(g, st, cfg.Dt2) }
 	var res dycore.RunResult
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = dycore.RunWithHook(set, g, o.Model, heldsuarez.InitialState, o.Steps, hook)
@@ -192,9 +193,13 @@ func BenchmarkAdvectionKernel(b *testing.B) {
 	cres.DBar.FillXPeriodic()
 	field.FillPolesY(cres.PWI, field.Even, field.CenterY)
 	out := operators.NewTendency(blk)
+	// Persistent scratch, like the integrators hold — the nil-scratch
+	// Advection path is for one-shot/test use only.
+	sc := operators.NewAdvScratch(blk)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		operators.Advection(g, st, sur, cres, out, blk.Owned())
+		operators.AdvectionScratch(g, st, sur, cres, out, blk.Owned(), sc)
 	}
 	b.SetBytes(int64(8 * blk.Owned().Count()))
 }
@@ -232,6 +237,7 @@ func BenchmarkFilterSerial(b *testing.B) {
 		st.Phi.Data[i] = rng.NormFloat64()
 	}
 	f := filter.New(g, 60)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Apply(st.Phi, blk.Owned())

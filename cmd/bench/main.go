@@ -1,0 +1,206 @@
+// Command bench runs the kernel micro-benchmarks through testing.Benchmark
+// and emits the results as JSON (BENCH_kernels.json by default) — a
+// machine-readable record of the performance work: the real-FFT polar-filter
+// fast path vs the complex reference, the zero-allocation stencil kernels,
+// and the steady-state integrator step.
+//
+// Usage:
+//
+//	bench [-o BENCH_kernels.json] [-nx 96 -ny 48 -nz 12]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/dycore"
+	"cadycore/internal/field"
+	"cadycore/internal/fft"
+	"cadycore/internal/filter"
+	"cadycore/internal/grid"
+	"cadycore/internal/heldsuarez"
+	"cadycore/internal/operators"
+	"cadycore/internal/state"
+)
+
+// result is one benchmark row of the JSON report.
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+func run(name string, fn func(b *testing.B)) result {
+	r := testing.Benchmark(fn)
+	res := result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+	}
+	fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
+		res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	return res
+}
+
+func benchState(g *grid.Grid) (*state.State, field.Block) {
+	b := field.Block{
+		Nx: g.Nx, Ny: g.Ny, Nz: g.Nz,
+		I0: 0, I1: g.Nx, J0: 0, J1: g.Ny, K0: 0, K1: g.Nz,
+		Hx: 3, Hy: 2, Hz: 1,
+	}
+	st := state.New(b)
+	heldsuarez.InitialState(g, st)
+	st.FillLocalBounds()
+	return st, b
+}
+
+func main() {
+	out := flag.String("o", "BENCH_kernels.json", "output JSON file")
+	nx := flag.Int("nx", 96, "mesh points in longitude")
+	ny := flag.Int("ny", 48, "mesh points in latitude")
+	nz := flag.Int("nz", 12, "mesh levels")
+	flag.Parse()
+
+	g := grid.New(*nx, *ny, *nz)
+	var results []result
+
+	// FFT: the complex plan vs the half-spectrum real plan at the mesh's
+	// zonal extent. The real plan is the polar filter's fast path.
+	n := g.Nx
+	results = append(results, run("fft_complex", func(b *testing.B) {
+		p := fft.NewPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(i%7), 0)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Forward(x)
+		}
+	}))
+	results = append(results, run("fft_real_halfspectrum", func(b *testing.B) {
+		rp := fft.NewRealPlan(n)
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = float64(i % 7)
+		}
+		spec := make([]complex128, rp.SpecLen())
+		scratch := make([]complex128, rp.ScratchLen())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rp.Forward(src, spec, scratch)
+		}
+	}))
+
+	// Polar filter over the full owned rect (rfft path, allocation-free).
+	results = append(results, run("filter_apply", func(b *testing.B) {
+		st, blk := benchState(g)
+		rng := rand.New(rand.NewSource(1))
+		for i := range st.Phi.Data {
+			st.Phi.Data[i] = rng.NormFloat64()
+		}
+		f := filter.New(g, 60)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Apply(st.Phi, blk.Owned())
+		}
+	}))
+
+	// Stencil kernels over the owned rect.
+	results = append(results, run("adaptation_kernel", func(b *testing.B) {
+		st, blk := benchState(g)
+		sur := operators.NewSurface(blk)
+		sur.Update(st.Psa)
+		divp := field.NewF3(blk)
+		operators.DivP(g, st.U, st.V, sur, divp, blk.Owned())
+		cres := operators.NewCRes(blk)
+		operators.CSum(g, nil, nil, divp, cres, blk.Owned(), 0, g.Nz)
+		out := operators.NewTendency(blk)
+		cfg := operators.DefaultAdaptConfig()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			operators.Adaptation(g, cfg, st, sur, cres, out, blk.Owned())
+		}
+	}))
+	results = append(results, run("advection_kernel", func(b *testing.B) {
+		st, blk := benchState(g)
+		sur := operators.NewSurface(blk)
+		sur.Update(st.Psa)
+		divp := field.NewF3(blk)
+		operators.DivP(g, st.U, st.V, sur, divp, blk.Owned())
+		cres := operators.NewCRes(blk)
+		operators.CSum(g, nil, nil, divp, cres, blk.Owned(), 0, g.Nz)
+		cres.PWI.FillXPeriodic()
+		cres.DBar.FillXPeriodic()
+		field.FillPolesY(cres.PWI, field.Even, field.CenterY)
+		out := operators.NewTendency(blk)
+		sc := operators.NewAdvScratch(blk)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			operators.AdvectionScratch(g, st, sur, cres, out, blk.Owned(), sc)
+		}
+	}))
+	results = append(results, run("smoothing_kernel", func(b *testing.B) {
+		st, blk := benchState(g)
+		smo := operators.NewSmoother(g, 1.0)
+		dst := state.New(blk)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			smo.SmoothFull(st, dst, blk.Owned())
+		}
+	}))
+
+	// Steady-state single-rank integrator steps (the 0 allocs/op claim).
+	for _, alg := range []dycore.Algorithm{dycore.AlgBaselineYZ, dycore.AlgCommAvoid} {
+		alg := alg
+		results = append(results, run("step_"+alg.String(), func(b *testing.B) {
+			cfg := dycore.DefaultConfig()
+			cfg.Dt1, cfg.Dt2 = 40, 240
+			s := dycore.Setup{Alg: alg, PA: 1, PB: 1, Cfg: cfg}
+			w := comm.NewWorld(1, comm.Zero())
+			w.Run(func(c *comm.Comm) {
+				tp, ig := s.Build(c, g)
+				st := state.New(tp.Block)
+				heldsuarez.InitialState(g, st)
+				ig.(dycore.StateSetter).SetState(st)
+				ig.Step() // warm up exchange buffers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ig.Step()
+				}
+			})
+		}))
+	}
+
+	report := map[string]interface{}{
+		"mesh":    map[string]int{"nx": g.Nx, "ny": g.Ny, "nz": g.Nz},
+		"results": results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

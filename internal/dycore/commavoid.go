@@ -37,6 +37,8 @@ type CommAvoid struct {
 	smEx    *topo.Exchanger // plain smoothing exchange (ablation/Finalize)
 	origPhi *field.F3       // pre-smoothing Φ for the latter smoothing
 	origPsa *field.F2
+	bandF3  [1]*field.F3 // prebuilt payload slices for the band exchange
+	bandF2  [1]*field.F2
 
 	depthY, depthZ int // valid halo depth after the adaptation exchange (= 3M)
 	finalized      bool
@@ -96,6 +98,8 @@ func NewCommAvoid(cfg Config, g *grid.Grid, tp *topo.Topology) *CommAvoid {
 	ca.smEx = tp.NewExchanger(0, dys, 0)
 	ca.origPhi = field.NewF3(tp.Block)
 	ca.origPsa = field.NewF2(tp.Block)
+	ca.bandF3[0] = ca.origPhi
+	ca.bandF2[0] = ca.origPsa
 	return ca
 }
 
@@ -183,9 +187,16 @@ func (ca *CommAvoid) Step() {
 		ca.xi.FillLocalBounds() // x halos and pole mirrors for the δ⁴ reads
 		field.Copy(ca.origPhi, ca.xi.Phi)
 		field.Copy2(ca.origPsa, ca.xi.Psa)
-		w := ca.smo.P1Field(ca.xi.U, ca.eta1.U, owned)
-		w += ca.smo.P1Field(ca.xi.V, ca.eta1.V, owned)
-		w += ca.smo.P2Former(ca.xi.Phi, ca.eta1.Phi, owned, ca.availY)
+		var w int
+		if ca.cfg.Workers > 1 {
+			w = ca.parKSum(owned, func(sub field.Rect, _ int) int { return ca.smo.P1Field(ca.xi.U, ca.eta1.U, sub) })
+			w += ca.parKSum(owned, func(sub field.Rect, _ int) int { return ca.smo.P1Field(ca.xi.V, ca.eta1.V, sub) })
+			w += ca.parKSum(owned, func(sub field.Rect, _ int) int { return ca.smo.P2Former(ca.xi.Phi, ca.eta1.Phi, sub, ca.availY) })
+		} else {
+			w = ca.smo.P1Field(ca.xi.U, ca.eta1.U, owned)
+			w += ca.smo.P1Field(ca.xi.V, ca.eta1.V, owned)
+			w += ca.smo.P2Former(ca.xi.Phi, ca.eta1.Phi, owned, ca.availY)
+		}
 		w += ca.smo.P2Former2(ca.xi.Psa, ca.eta1.Psa, owned, ca.availY)
 		ca.xi.U.CopyRect(owned, ca.eta1.U)
 		ca.xi.V.CopyRect(owned, ca.eta1.V)
@@ -201,7 +212,7 @@ func (ca *CommAvoid) Step() {
 	pend := ca.deepEx.Begin(f3, f2)
 	var bandPend *topo.Pending
 	if fused {
-		bandPend = ca.bandEx.Begin([]*field.F3{ca.origPhi}, []*field.F2{ca.origPsa})
+		bandPend = ca.bandEx.Begin(ca.bandF3[:], ca.bandF2[:])
 	}
 	ca.n.HaloExchanges++ // one fused communication round
 
@@ -268,7 +279,7 @@ func (ca *CommAvoid) Step() {
 		ca.evalC(ca.xi, ca.cNew, r1)
 		ca.cLast, ca.cNew = ca.cNew, ca.cLast
 	}
-	for _, s := range slabs(r1, inner) {
+	for _, s := range ca.slabs(r1, inner) {
 		ca.adaptTendency(ca.xi, ca.cLast, s)
 		ca.filterTendency(s)
 	}
@@ -334,7 +345,7 @@ func (ca *CommAvoid) Step() {
 	pend.Finish()
 	ca.localFill(ca.psi)
 	ca.updateSurface(ca.psi)
-	for _, s := range slabs(rz1, inner) {
+	for _, s := range ca.slabs(rz1, inner) {
 		ca.advectTendency(ca.psi, ca.cLast, s)
 		ca.filterTendency(s)
 	}

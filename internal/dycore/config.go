@@ -38,6 +38,16 @@ type Config struct {
 	// decompositions with p_x = 1.
 	ShiftedPoleMirror bool
 
+	// Workers is the intra-rank parallel tiling width: the 3-D stencil
+	// kernels (adaptation, advection, D(P), smoothing) split their k-plane
+	// range across this many goroutines. 0 and 1 both mean serial. The knob
+	// changes wall-clock time only — work counts, communication events and
+	// therefore the simulated LogP metrics (simC_ms/simS_ms/simT_ms) are
+	// identical for every value. Parallel tiling spawns goroutines per
+	// kernel call, so the steady-state zero-allocation guarantee holds for
+	// Workers ≤ 1 (the default).
+	Workers int
+
 	// Ablation switches for the communication-avoiding algorithm (all false
 	// in the paper's configuration — they exist to measure each
 	// optimization's contribution separately):
@@ -79,6 +89,9 @@ func (c Config) Validate() {
 	}
 	if c.Beta <= 0 || c.Beta >= 2 {
 		panic("dycore: smoothing β must lie in (0, 2)")
+	}
+	if c.Workers < 0 {
+		panic("dycore: Workers must be ≥ 0")
 	}
 }
 

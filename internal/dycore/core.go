@@ -2,6 +2,7 @@ package dycore
 
 import (
 	"math"
+	"sync"
 
 	"cadycore/internal/comm"
 	"cadycore/internal/field"
@@ -58,6 +59,17 @@ type core struct {
 	cLast *operators.CRes
 	advSc *operators.AdvScratch
 
+	// Steady-state scratch: fixed exchange-payload arrays, the vertical-
+	// summation work planes, the slab-decomposition buffer and (for Workers
+	// > 1) per-worker advection scratch and result slots. Together these
+	// make Step free of heap allocation after the first step.
+	csSc    operators.CSumScratch
+	exF3    [4]*field.F3
+	exF2    [2]*field.F2
+	slabBuf [6]field.Rect
+	advScW  []*operators.AdvScratch
+	parRes  []int
+
 	n Counters
 }
 
@@ -86,6 +98,14 @@ func newCore(cfg Config, g *grid.Grid, tp *topo.Topology) *core {
 	for _, st := range []*state.State{c.xi, c.psi, c.eta1, c.eta2, c.mid} {
 		st.ShiftedPoles = cfg.ShiftedPoleMirror
 	}
+	if nw := cfg.Workers; nw > 1 {
+		c.advScW = make([]*operators.AdvScratch, nw)
+		c.advScW[0] = c.advSc
+		for i := 1; i < nw; i++ {
+			c.advScW[i] = operators.NewAdvScratch(b)
+		}
+		c.parRes = make([]int, nw)
+	}
 	return c
 }
 
@@ -97,11 +117,45 @@ func (c *core) Counters() Counters { return c.n }
 
 // exchangeFields returns the message payload of one halo exchange: the state
 // components plus the cached Ĉ fields (PW interfaces and D̄), which ride
-// along like the diagnostic components of the original model's ξ.
+// along like the diagnostic components of the original model's ξ. The slices
+// alias fixed core arrays (reused per call — at most one exchange may be in
+// flight, which holds by construction in both integrators).
 func (c *core) exchangeFields(st *state.State) (f3s []*field.F3, f2s []*field.F2) {
-	f3s = append(st.F3s(), c.cLast.PWI)
-	f2s = append(st.F2s(), c.cLast.DBar)
-	return
+	c.exF3[0], c.exF3[1], c.exF3[2], c.exF3[3] = st.U, st.V, st.Phi, c.cLast.PWI
+	c.exF2[0], c.exF2[1] = st.Psa, c.cLast.DBar
+	return c.exF3[:], c.exF2[:]
+}
+
+// parKSum splits r into contiguous k chunks across cfg.Workers goroutines,
+// runs fn on each and returns the summed work counts. It must only be
+// reached with Workers > 1 (call sites keep a closure-free serial branch so
+// that the default configuration performs no heap allocation).
+func (c *core) parKSum(r field.Rect, fn func(sub field.Rect, wid int) int) int {
+	nw := c.cfg.Workers
+	nk := r.K1 - r.K0
+	if nw > nk {
+		nw = nk
+	}
+	if nw <= 1 {
+		return fn(r, 0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		sub := r
+		sub.K0 = r.K0 + w*nk/nw
+		sub.K1 = r.K0 + (w+1)*nk/nw
+		wg.Add(1)
+		go func(sub field.Rect, w int) {
+			defer wg.Done()
+			c.parRes[w] = fn(sub, w)
+		}(sub, w)
+	}
+	wg.Wait()
+	total := 0
+	for w := 0; w < nw; w++ {
+		total += c.parRes[w]
+	}
+	return total
 }
 
 // localFill refreshes all locally computable boundary values of st and of
@@ -132,9 +186,16 @@ func (c *core) fillCBounds(cr *operators.CRes) {
 // z-collective summation into dst. The caller must have called
 // c.sur.Update(src.Psa) since the last change of src.Psa.
 func (c *core) evalC(src *state.State, dst *operators.CRes, r field.Rect) {
-	w1 := operators.DivP(c.g, src.U, src.V, c.sur, c.divp, r)
+	var w1 int
+	if c.cfg.Workers <= 1 {
+		w1 = operators.DivP(c.g, src.U, src.V, c.sur, c.divp, r)
+	} else {
+		w1 = c.parKSum(r, func(sub field.Rect, _ int) int {
+			return operators.DivP(c.g, src.U, src.V, c.sur, c.divp, sub)
+		})
+	}
 	c.w.Compute(float64(w1) * costDivP)
-	w2 := operators.CSum(c.g, c.tp.ColZ, c.w, c.divp, dst, r, r.K0, r.K1)
+	w2 := operators.CSumWith(c.g, c.tp.ColZ, c.w, c.divp, dst, r, r.K0, r.K1, &c.csSc)
 	c.w.Compute(float64(w2) * costCSum)
 	c.fillCBounds(dst)
 	c.n.CEvaluations++
@@ -149,13 +210,32 @@ func (c *core) updateSurface(src *state.State) {
 // adaptTendency evaluates Â(src) + the Ĉ contributions from cres over r
 // into c.tnd.
 func (c *core) adaptTendency(src *state.State, cres *operators.CRes, r field.Rect) {
-	w := operators.Adaptation(c.g, c.cfg.Adapt, src, c.sur, cres, c.tnd, r)
+	var w int
+	if c.cfg.Workers <= 1 {
+		w = operators.Adaptation3D(c.g, src, c.sur, cres, c.tnd, r)
+	} else {
+		w = c.parKSum(r, func(sub field.Rect, _ int) int {
+			return operators.Adaptation3D(c.g, src, c.sur, cres, c.tnd, sub)
+		})
+	}
+	// The 2-D surface-pressure component runs once, outside the k tiling.
+	w += operators.AdaptationPsa(c.g, c.cfg.Adapt, src, cres, c.tnd, r)
 	c.w.Compute(float64(w) * costAdapt)
 }
 
 // advectTendency evaluates L̃(src) with σ̇ from cres over r into c.tnd.
 func (c *core) advectTendency(src *state.State, cres *operators.CRes, r field.Rect) {
-	w := operators.AdvectionScratch(c.g, src, c.sur, cres, c.tnd, r, c.advSc)
+	var w int
+	if c.cfg.Workers <= 1 {
+		w = operators.Advection3D(c.g, src, c.sur, cres, c.tnd, r, c.advSc)
+	} else {
+		// Each worker brings its own scratch: adjacent k tiles both write
+		// their shared σ̇ boundary interface (see operators.Advection3D).
+		w = c.parKSum(r, func(sub field.Rect, wid int) int {
+			return operators.Advection3D(c.g, src, c.sur, cres, c.tnd, sub, c.advScW[wid])
+		})
+	}
+	operators.AdvectionPsa(c.tnd, r)
 	c.w.Compute(float64(w) * costAdvect)
 }
 
@@ -238,24 +318,27 @@ func (c *core) shrinkInternal(r field.Rect, dy, dz int) field.Rect {
 // slabs returns outer \ inner as a list of disjoint rects (inner must be
 // contained in outer; empty slabs are dropped). Used by the overlap path:
 // the inner rect is computed while messages fly, the slabs afterwards.
-func slabs(outer, inner field.Rect) []field.Rect {
+// The result aliases c.slabBuf (at most 6 rects), valid until the next call.
+func (c *core) slabs(outer, inner field.Rect) []field.Rect {
+	out := c.slabBuf[:0]
 	if inner.Empty() {
-		return []field.Rect{outer}
+		return append(out, outer)
 	}
-	var out []field.Rect
-	add := func(r field.Rect) {
+	cand := [6]field.Rect{
+		// k-slabs below and above the inner box.
+		{I0: outer.I0, I1: outer.I1, J0: outer.J0, J1: outer.J1, K0: outer.K0, K1: inner.K0},
+		{I0: outer.I0, I1: outer.I1, J0: outer.J0, J1: outer.J1, K0: inner.K1, K1: outer.K1},
+		// j-slabs within the inner k range.
+		{I0: outer.I0, I1: outer.I1, J0: outer.J0, J1: inner.J0, K0: inner.K0, K1: inner.K1},
+		{I0: outer.I0, I1: outer.I1, J0: inner.J1, J1: outer.J1, K0: inner.K0, K1: inner.K1},
+		// i-slabs within the inner j, k ranges.
+		{I0: outer.I0, I1: inner.I0, J0: inner.J0, J1: inner.J1, K0: inner.K0, K1: inner.K1},
+		{I0: inner.I1, I1: outer.I1, J0: inner.J0, J1: inner.J1, K0: inner.K0, K1: inner.K1},
+	}
+	for _, r := range cand {
 		if !r.Empty() {
 			out = append(out, r)
 		}
 	}
-	// k-slabs below and above the inner box.
-	add(field.Rect{I0: outer.I0, I1: outer.I1, J0: outer.J0, J1: outer.J1, K0: outer.K0, K1: inner.K0})
-	add(field.Rect{I0: outer.I0, I1: outer.I1, J0: outer.J0, J1: outer.J1, K0: inner.K1, K1: outer.K1})
-	// j-slabs within the inner k range.
-	add(field.Rect{I0: outer.I0, I1: outer.I1, J0: outer.J0, J1: inner.J0, K0: inner.K0, K1: inner.K1})
-	add(field.Rect{I0: outer.I0, I1: outer.I1, J0: inner.J1, J1: outer.J1, K0: inner.K0, K1: inner.K1})
-	// i-slabs within the inner j, k ranges.
-	add(field.Rect{I0: outer.I0, I1: inner.I0, J0: inner.J0, J1: inner.J1, K0: inner.K0, K1: inner.K1})
-	add(field.Rect{I0: inner.I1, I1: outer.I1, J0: inner.J0, J1: inner.J1, K0: inner.K0, K1: inner.K1})
 	return out
 }

@@ -107,26 +107,55 @@ func (p *Plan) buildBluestein() {
 }
 
 // Forward computes the in-place forward DFT
-// X_k = Σ_j x_j · exp(−2πi·jk/n).
+// X_k = Σ_j x_j · exp(−2πi·jk/n). It allocates Bluestein work space on
+// non-power-of-two lengths; hot paths should use ForwardScratch.
 func (p *Plan) Forward(x []complex128) {
+	p.ForwardScratch(x, nil)
+}
+
+// ScratchLen returns the length of the complex work buffer ForwardScratch
+// and InverseScratch need (0 on the allocation-free power-of-two path).
+func (p *Plan) ScratchLen() int {
+	if p.pow2 {
+		return 0
+	}
+	return p.m
+}
+
+// ForwardScratch is Forward with caller-provided work space of at least
+// ScratchLen() values (nil allocates). With caller scratch the transform
+// performs no heap allocation, and one Plan can serve many goroutines as
+// long as each brings its own scratch.
+func (p *Plan) ForwardScratch(x, scratch []complex128) {
 	p.checkLen(x)
 	if p.pow2 {
 		p.forwardPow2(x)
 		return
 	}
-	p.bluestein(x)
+	if scratch == nil {
+		scratch = make([]complex128, p.m)
+	} else if len(scratch) < p.m {
+		panic(fmt.Sprintf("fft: scratch length %d < required %d", len(scratch), p.m))
+	}
+	p.bluestein(x, scratch[:p.m])
 }
 
 // Inverse computes the in-place inverse DFT (with the 1/n normalization),
 // so Inverse(Forward(x)) == x.
 func (p *Plan) Inverse(x []complex128) {
+	p.InverseScratch(x, nil)
+}
+
+// InverseScratch is Inverse with caller-provided work space (see
+// ForwardScratch).
+func (p *Plan) InverseScratch(x, scratch []complex128) {
 	p.checkLen(x)
 	n := p.n
 	// inverse via conjugation: IDFT(x) = conj(DFT(conj(x)))/n
 	for i := range x {
 		x[i] = cmplx.Conj(x[i])
 	}
-	p.Forward(x)
+	p.ForwardScratch(x, scratch)
 	inv := 1 / float64(n)
 	for i := range x {
 		x[i] = cmplx.Conj(x[i]) * complex(inv, 0)
@@ -162,12 +191,15 @@ func (p *Plan) forwardPow2(x []complex128) {
 	}
 }
 
-// bluestein evaluates the DFT of arbitrary length as a convolution.
-func (p *Plan) bluestein(x []complex128) {
+// bluestein evaluates the DFT of arbitrary length as a convolution, using
+// the caller's length-m work buffer.
+func (p *Plan) bluestein(x, a []complex128) {
 	n, m := p.n, p.m
-	a := make([]complex128, m)
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * p.chirp[k]
+	}
+	for k := n; k < m; k++ {
+		a[k] = 0
 	}
 	p.bplan.forwardPow2(a)
 	for k := 0; k < m; k++ {

@@ -1,0 +1,72 @@
+package field
+
+// Arena is a per-rank pool of scratch fields on one block. Operators and
+// integrators borrow temporaries with Get3/Get2 and return them with
+// Put3/Put2; after a warm-up step every borrow is served from the free list,
+// so steady-state execution performs no heap allocation. An Arena is not
+// safe for concurrent use — give each goroutine (or each rank) its own.
+type Arena struct {
+	b  Block
+	f3 []*F3
+	f2 []*F2
+
+	// high-water marks, for diagnostics and tests
+	made3, made2 int
+}
+
+// NewArena builds an empty arena for block b.
+func NewArena(b Block) *Arena {
+	b.Validate()
+	return &Arena{b: b}
+}
+
+// Block returns the block all pooled fields live on.
+func (a *Arena) Block() Block { return a.b }
+
+// Get3 borrows a zeroed 3-D field. The first few calls allocate; once the
+// pool is warm, Get3 reuses returned fields and only pays the memclr.
+func (a *Arena) Get3() *F3 {
+	if n := len(a.f3); n > 0 {
+		f := a.f3[n-1]
+		a.f3 = a.f3[:n-1]
+		f.Zero()
+		return f
+	}
+	a.made3++
+	return NewF3(a.b)
+}
+
+// Put3 returns a field borrowed with Get3. The field must be on the arena's
+// block; returning foreign fields panics rather than corrupting the pool.
+func (a *Arena) Put3(f *F3) {
+	if f.B != a.b {
+		panic("field: Put3 of a field from a different block")
+	}
+	a.f3 = append(a.f3, f)
+}
+
+// Get2 borrows a zeroed 2-D field.
+func (a *Arena) Get2() *F2 {
+	if n := len(a.f2); n > 0 {
+		f := a.f2[n-1]
+		a.f2 = a.f2[:n-1]
+		for i := range f.Data {
+			f.Data[i] = 0
+		}
+		return f
+	}
+	a.made2++
+	return NewF2(a.b)
+}
+
+// Put2 returns a field borrowed with Get2.
+func (a *Arena) Put2(f *F2) {
+	if f.B != a.b {
+		panic("field: Put2 of a field from a different block")
+	}
+	a.f2 = append(a.f2, f)
+}
+
+// Allocated reports how many 3-D and 2-D fields the arena has ever created —
+// a steady-state loop must leave these constant.
+func (a *Arena) Allocated() (n3, n2 int) { return a.made3, a.made2 }

@@ -1,0 +1,113 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func arenaBlock() Block {
+	return Block{Nx: 8, Ny: 6, Nz: 4, I0: 0, I1: 8, J0: 0, J1: 6, K0: 0, K1: 4, Hx: 2, Hy: 2, Hz: 1}
+}
+
+func TestArenaReusesFields(t *testing.T) {
+	a := NewArena(arenaBlock())
+	f := a.Get3()
+	f.Set(3, 3, 2, 42)
+	a.Put3(f)
+	g := a.Get3()
+	if g != f {
+		t.Error("Get3 after Put3 should reuse the pooled field")
+	}
+	if g.At(3, 3, 2) != 0 {
+		t.Error("reused field not zeroed")
+	}
+	if n3, _ := a.Allocated(); n3 != 1 {
+		t.Errorf("allocated %d 3-D fields, want 1", n3)
+	}
+
+	p := a.Get2()
+	p.Set(1, 1, 7)
+	a.Put2(p)
+	if q := a.Get2(); q != p || q.At(1, 1) != 0 {
+		t.Error("2-D pool must reuse and zero")
+	}
+}
+
+func TestArenaSteadyStateZeroAlloc(t *testing.T) {
+	a := NewArena(arenaBlock())
+	a.Put3(a.Get3()) // warm
+	a.Put2(a.Get2())
+	allocs := testing.AllocsPerRun(100, func() {
+		f := a.Get3()
+		p := a.Get2()
+		a.Put2(p)
+		a.Put3(f)
+	})
+	if allocs != 0 {
+		t.Errorf("warm arena allocated %v per borrow cycle, want 0", allocs)
+	}
+}
+
+func TestArenaRejectsForeignField(t *testing.T) {
+	a := NewArena(arenaBlock())
+	other := arenaBlock()
+	other.Hx = 1
+	defer func() {
+		if recover() == nil {
+			t.Error("Put3 of a foreign-block field must panic")
+		}
+	}()
+	a.Put3(NewF3(other))
+}
+
+func TestLin3RectMatchesComposition(t *testing.T) {
+	b := arenaBlock()
+	rng := rand.New(rand.NewSource(7))
+	x, y, z := NewF3(b), NewF3(b), NewF3(b)
+	for i := range x.Data {
+		x.Data[i], y.Data[i], z.Data[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+	}
+	r := Rect{I0: 1, I1: 7, J0: 1, J1: 5, K0: 1, K1: 3}
+
+	got := NewF3(b)
+	Lin3Rect(got, 2, x, -1.5, y, 0.25, z, r)
+
+	want := NewF3(b)
+	Lin2Rect(want, 2, x, -1.5, y, r)
+	AxpyRect(want, 0.25, z, r)
+
+	for k := r.K0; k < r.K1; k++ {
+		for j := r.J0; j < r.J1; j++ {
+			for i := r.I0; i < r.I1; i++ {
+				if got.At(i, j, k) != want.At(i, j, k) {
+					t.Fatalf("(%d,%d,%d): fused %v vs composed %v", i, j, k, got.At(i, j, k), want.At(i, j, k))
+				}
+			}
+		}
+	}
+	// Outside the rect both must be untouched (zero).
+	if got.At(0, 0, 0) != 0 || want.At(0, 0, 0) != 0 {
+		t.Error("rect ops wrote outside the rect")
+	}
+}
+
+func TestAxpyRect2(t *testing.T) {
+	b := arenaBlock()
+	d, s := NewF2(b), NewF2(b)
+	for i := range s.Data {
+		s.Data[i] = float64(i)
+	}
+	r := Rect{I0: 2, I1: 6, J0: 1, J1: 4}
+	AxpyRect2(d, 3, s, r)
+	for j := 0; j < b.Ny; j++ {
+		for i := 0; i < b.Nx; i++ {
+			want := 0.0
+			if i >= r.I0 && i < r.I1 && j >= r.J0 && j < r.J1 {
+				want = 3 * s.At(i, j)
+			}
+			if d.At(i, j) != want {
+				t.Fatalf("(%d,%d): got %v want %v", i, j, d.At(i, j), want)
+			}
+		}
+	}
+}

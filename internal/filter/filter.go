@@ -26,13 +26,22 @@ import (
 	"cadycore/internal/topo"
 )
 
-// Filter holds the per-latitude wavenumber cutoffs and the FFT plan.
+// Filter holds the per-latitude wavenumber cutoffs and the FFT plan. The
+// transform runs on the real-input half-spectrum fast path (internal/fft
+// RealPlan), which does about half the complex work per row; the scratch
+// buffers below make every row transform allocation-free.
+//
+// A Filter is NOT safe for concurrent use: FilterRow and the Apply* methods
+// share the per-filter scratch. Give each goroutine its own Filter (plans
+// are cheap relative to a field) when filtering in parallel.
 type Filter struct {
 	g *grid.Grid
 	// mmax[j] is the highest zonal wavenumber retained at latitude row j;
 	// rows with mmax[j] == Nx/2 are not filtered at all.
-	mmax []int
-	plan *fft.Plan
+	mmax    []int
+	rp      *fft.RealPlan
+	spec    []complex128 // half spectrum, Nx/2+1
+	scratch []complex128 // RealPlan work space
 }
 
 // New builds a filter that leaves latitudes equatorward of cutoffLatDeg
@@ -40,7 +49,12 @@ type Filter struct {
 // wavenumber 1 is always kept). The IAP-AGCM filter strength profile has the
 // same shape; 60° is a realistic default cutoff.
 func New(g *grid.Grid, cutoffLatDeg float64) *Filter {
-	f := &Filter{g: g, plan: fft.NewPlan(g.Nx), mmax: make([]int, g.Ny)}
+	rp := fft.NewRealPlan(g.Nx)
+	f := &Filter{
+		g: g, rp: rp, mmax: make([]int, g.Ny),
+		spec:    make([]complex128, rp.SpecLen()),
+		scratch: make([]complex128, rp.ScratchLen()),
+	}
 	sinc := math.Sin((90 - cutoffLatDeg) * math.Pi / 180) // sin of cutoff colatitude
 	half := g.Nx / 2
 	for j := 0; j < g.Ny; j++ {
@@ -102,18 +116,23 @@ func (f *Filter) MMax(j int) int {
 // Active reports whether row j is filtered at all.
 func (f *Filter) Active(j int) bool { return f.MMax(j) < f.g.Nx/2 }
 
-// FilterRow low-passes one full latitude row in place (len = Nx).
+// FilterRow low-passes one full latitude row in place (len = Nx). It is
+// allocation-free but uses the Filter's scratch, so it must not be called
+// concurrently on the same Filter.
 func (f *Filter) FilterRow(row []float64, j int) {
 	mmax := f.MMax(j)
 	nx := f.g.Nx
 	if mmax >= nx/2 {
 		return
 	}
-	coef := f.plan.ForwardReal(row, nil)
-	for m := mmax + 1; m <= nx-mmax-1; m++ {
-		coef[m] = 0
+	f.rp.Forward(row, f.spec, f.scratch)
+	// Zeroing half-spectrum coefficient k kills wavenumbers k and Nx−k at
+	// once — the same set the full-spectrum loop m ∈ [mmax+1, Nx−mmax−1]
+	// removed.
+	for m := mmax + 1; m <= nx/2; m++ {
+		f.spec[m] = 0
 	}
-	f.plan.InverseToReal(coef, row)
+	f.rp.Inverse(f.spec, row, f.scratch)
 }
 
 // Apply filters every (j, k) row of fld inside rect. The field's storage
@@ -125,7 +144,6 @@ func (f *Filter) Apply(fld *field.F3, rect field.Rect) int {
 		panic("filter: serial Apply requires a full longitude circle per rank")
 	}
 	nx := f.g.Nx
-	row := make([]float64, nx)
 	rows := 0
 	for k := rect.K0; k < rect.K1; k++ {
 		for j := rect.J0; j < rect.J1; j++ {
@@ -133,9 +151,7 @@ func (f *Filter) Apply(fld *field.F3, rect field.Rect) int {
 				continue
 			}
 			base := fld.Index(0, j, k)
-			copy(row, fld.Data[base:base+nx])
-			f.FilterRow(row, j)
-			copy(fld.Data[base:base+nx], row)
+			f.FilterRow(fld.Data[base:base+nx], j)
 			rows++
 		}
 	}
@@ -149,16 +165,13 @@ func (f *Filter) Apply2(fld *field.F2, rect field.Rect) int {
 	}
 	rect = rect.Flat2D()
 	nx := f.g.Nx
-	row := make([]float64, nx)
 	rows := 0
 	for j := rect.J0; j < rect.J1; j++ {
 		if !f.Active(j) {
 			continue
 		}
 		base := fld.Index(0, j)
-		copy(row, fld.Data[base:base+nx])
-		f.FilterRow(row, j)
-		copy(fld.Data[base:base+nx], row)
+		f.FilterRow(fld.Data[base:base+nx], j)
 		rows++
 	}
 	return rows

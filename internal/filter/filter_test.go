@@ -387,3 +387,64 @@ func TestStableDtFilterRelaxesCFL(t *testing.T) {
 		t.Errorf("filtered CFL %v s far from the cutoff-latitude estimate %v s", fil, approx)
 	}
 }
+
+func TestFilterRowMatchesComplexReference(t *testing.T) {
+	// The rfft fast path must reproduce the original full-complex filter
+	// (forward, zero m ∈ [mmax+1, Nx−mmax−1], inverse) to 1e-12.
+	g := testGrid()
+	f := New(g, 60)
+	rng := rand.New(rand.NewSource(21))
+	plan := fft.NewPlan(g.Nx)
+	for _, j := range []int{0, 1, 2, g.Ny - 1} {
+		row := make([]float64, g.Nx)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		ref := append([]float64(nil), row...)
+		coef := plan.ForwardReal(ref, nil)
+		for m := f.MMax(j) + 1; m <= g.Nx-f.MMax(j)-1; m++ {
+			coef[m] = 0
+		}
+		plan.InverseToReal(coef, ref)
+
+		f.FilterRow(row, j)
+		for i := range row {
+			if math.Abs(row[i]-ref[i]) > 1e-12 {
+				t.Fatalf("row %d: rfft path differs from complex reference at %d: %v vs %v",
+					j, i, row[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestFilterRowZeroAlloc(t *testing.T) {
+	// The steady-state step depends on row filtering being allocation-free.
+	g := testGrid()
+	f := New(g, 60)
+	row := make([]float64, g.Nx)
+	for i := range row {
+		row[i] = math.Sin(float64(i))
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		f.FilterRow(row, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("FilterRow allocated %v per op, want 0", allocs)
+	}
+}
+
+func TestApplyZeroAlloc(t *testing.T) {
+	g := testGrid()
+	f := New(g, 60)
+	fld := field.NewF3(fullBlock(g))
+	for i := range fld.Data {
+		fld.Data[i] = math.Cos(float64(i))
+	}
+	rect := fullBlock(g).Owned()
+	allocs := testing.AllocsPerRun(20, func() {
+		f.Apply(fld, rect)
+	})
+	if allocs != 0 {
+		t.Errorf("Apply allocated %v per op, want 0", allocs)
+	}
+}

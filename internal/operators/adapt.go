@@ -31,8 +31,16 @@ func DefaultAdaptConfig() AdaptConfig { return AdaptConfig{KappaStar: 1} }
 // cres from CSum. The z reads are one-sided (k and k+1 only), which is what
 // licenses the asymmetric deep halo. Returns points updated.
 func Adaptation(g *grid.Grid, cfg AdaptConfig, st *state.State, sur *Surface, cres *CRes, out *Tendency, r field.Rect) int {
+	return Adaptation3D(g, st, sur, cres, out, r) + AdaptationPsa(g, cfg, st, cres, out, r)
+}
+
+// Adaptation3D evaluates the three 3-D components (dU, dV, dΦ) of the
+// adaptation tendency over r. Writes are confined to r and all inputs are
+// read-only, so disjoint k sub-rects may run concurrently (the intra-rank
+// k-plane tiling of dycore.Config.Workers relies on this). Returns points
+// updated (3·|r|).
+func Adaptation3D(g *grid.Grid, st *state.State, sur *Surface, cres *CRes, out *Tendency, r field.Rect) int {
 	m := newMetric(g)
-	work := 0
 	xo := st.Phi.XOff(0)
 
 	for k := r.K0; k < r.K1; k++ {
@@ -127,9 +135,15 @@ func Adaptation(g *grid.Grid, cfg AdaptConfig, st *state.State, sur *Surface, cr
 			}
 		}
 	}
-	work += 3 * r.Count()
+	return 3 * r.Count()
+}
 
-	// ---- dp'_sa (2-D) ----
+// AdaptationPsa evaluates the 2-D surface-pressure component dp'_sa of the
+// adaptation tendency over r.Flat2D(). It must run exactly once per tendency
+// evaluation (never per k tile). Returns points updated.
+func AdaptationPsa(g *grid.Grid, cfg AdaptConfig, st *state.State, cres *CRes, out *Tendency, r field.Rect) int {
+	m := newMetric(g)
+	xo := st.Psa.XOff(0)
 	r2 := r.Flat2D()
 	ks := cfg.KappaStar * physics.Ksa
 	for j := r2.J0; j < r2.J1; j++ {
@@ -150,6 +164,5 @@ func Adaptation(g *grid.Grid, cfg AdaptConfig, st *state.State, sur *Surface, cr
 			dPsa[o] = ks*lap - physics.P0*dbar[o]
 		}
 	}
-	work += r2.Count()
-	return work
+	return r2.Count()
 }

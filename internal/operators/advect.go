@@ -53,12 +53,29 @@ func NewAdvScratch(b field.Block) *AdvScratch {
 // the arithmetic per point is identical, expression by expression, to the
 // straightforward formulation — the reference implementations in
 // ref_test.go pin this bitwise.
+//
+// Advection (nil scratch) allocates five F3 temporaries per call and exists
+// for tests and one-shot evaluations only; every integrator path must go
+// through AdvectionScratch with persistent scratch.
 func Advection(g *grid.Grid, st *state.State, sur *Surface, cres *CRes, out *Tendency, r field.Rect) int {
 	return AdvectionScratch(g, st, sur, cres, out, r, nil)
 }
 
 // AdvectionScratch is Advection with caller-provided scratch.
 func AdvectionScratch(g *grid.Grid, st *state.State, sur *Surface, cres *CRes, out *Tendency, r field.Rect, sc *AdvScratch) int {
+	w := Advection3D(g, st, sur, cres, out, r, sc)
+	AdvectionPsa(out, r)
+	return w
+}
+
+// Advection3D evaluates the 3-D components (dU, dV, dΦ) of L̃ over r,
+// leaving dp'_sa untouched. The σ̇ staging covers the k interfaces [K0, K1]
+// of r inclusively, so concurrent k tiles must each bring their OWN scratch —
+// adjacent tiles both write the shared boundary interface (the values agree,
+// but the stores race). All other inputs are read-only and the tendency
+// writes are disjoint per k. Returns points updated (4·|r|, counting the σ̇
+// staging as one component).
+func Advection3D(g *grid.Grid, st *state.State, sur *Surface, cres *CRes, out *Tendency, r field.Rect, sc *AdvScratch) int {
 	m := newMetric(g)
 	if sc == nil {
 		sc = NewAdvScratch(st.B)
@@ -265,8 +282,13 @@ func AdvectionScratch(g *grid.Grid, st *state.State, sur *Surface, cres *CRes, o
 		}
 	}
 
-	// Advection does not change the surface pressure (fourth component of
-	// L̃ is zero).
+	return 4 * r.Count()
+}
+
+// AdvectionPsa writes the trivial surface-pressure component of L̃ (zero)
+// over r.Flat2D(). Like AdaptationPsa it runs once per tendency evaluation,
+// outside any k tiling.
+func AdvectionPsa(out *Tendency, r field.Rect) {
 	r2 := r.Flat2D()
 	for j := r2.J0; j < r2.J1; j++ {
 		base := out.DPsa.Index(r2.I0, j)
@@ -274,8 +296,6 @@ func AdvectionScratch(g *grid.Grid, st *state.State, sur *Surface, cres *CRes, o
 			out.DPsa.Data[base+o] = 0
 		}
 	}
-
-	return 4 * r.Count()
 }
 
 // interp4 is the fourth-order midpoint interpolation

@@ -78,6 +78,22 @@ func DivP(g *grid.Grid, u, v *field.F3, sur *Surface, out *field.F3, r field.Rec
 	return r.Count()
 }
 
+// CSumScratch holds the work planes of CSum. One instance per integrator
+// makes the vertical summation allocation-free in steady state; the slices
+// grow on demand to the largest plane seen.
+type CSumScratch struct {
+	local, all, dbar, base, prefix []float64
+}
+
+// grown resizes a scratch slice to n, reallocating only when the capacity is
+// exceeded; contents are unspecified (callers zero what they accumulate).
+func grown(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // CSum executes the collective part of Ĉ: given D(P) on the horizontal rect
 // hr (for every locally stored vertical level within [loK, hiK)), it reduces
 // the Δσ-weighted vertical sums across the z communicator and assembles
@@ -95,7 +111,17 @@ func DivP(g *grid.Grid, u, v *field.F3, sur *Surface, out *field.F3, r field.Rec
 // (beyond the owned range for deep-halo execution); they are clamped to the
 // global domain. Returns points updated (for compute accounting).
 func CSum(g *grid.Grid, cz *comm.Comm, world *comm.Comm, divP *field.F3, res *CRes, hr field.Rect, loK, hiK int) int {
+	return CSumWith(g, cz, world, divP, res, hr, loK, hiK, nil)
+}
+
+// CSumWith is CSum with caller-held scratch (nil allocates fresh planes,
+// which is what the convenience wrapper above does — fine for tests,
+// expensive inside a time-step loop).
+func CSumWith(g *grid.Grid, cz *comm.Comm, world *comm.Comm, divP *field.F3, res *CRes, hr field.Rect, loK, hiK int, sc *CSumScratch) int {
 	b := res.B
+	if sc == nil {
+		sc = &CSumScratch{}
+	}
 	if loK < 0 {
 		loK = 0
 	}
@@ -109,7 +135,11 @@ func CSum(g *grid.Grid, cz *comm.Comm, world *comm.Comm, divP *field.F3, res *CR
 	work := 0
 
 	// Local Δσ-weighted sum over the owned levels.
-	local := make([]float64, plane)
+	sc.local = grown(sc.local, plane)
+	local := sc.local
+	for i := range local {
+		local[i] = 0
+	}
 	for k := b.K0; k < b.K1; k++ {
 		ds := g.DSigma[k]
 		w := 0
@@ -133,7 +163,8 @@ func CSum(g *grid.Grid, cz *comm.Comm, world *comm.Comm, divP *field.F3, res *CR
 	}
 	if pz > 1 {
 		prev := world.SetCategory(comm.CatCollectiveZ)
-		all = make([]float64, pz*plane)
+		sc.all = grown(sc.all, pz*plane)
+		all = sc.all
 		cz.Allgather(local, all)
 		world.SetCategory(prev)
 	} else {
@@ -141,8 +172,12 @@ func CSum(g *grid.Grid, cz *comm.Comm, world *comm.Comm, divP *field.F3, res *CR
 	}
 
 	// DBar = total; base = partial sum of the z-ranks above (lower k).
-	dbar := make([]float64, plane)
-	base := make([]float64, plane)
+	sc.dbar = grown(sc.dbar, plane)
+	sc.base = grown(sc.base, plane)
+	dbar, base := sc.dbar, sc.base
+	for i := range dbar {
+		dbar[i], base[i] = 0, 0
+	}
 	for r := 0; r < pz; r++ {
 		seg := all[r*plane : (r+1)*plane]
 		for i, v := range seg {
@@ -165,7 +200,8 @@ func CSum(g *grid.Grid, cz *comm.Comm, world *comm.Comm, divP *field.F3, res *CR
 	// Assemble PWI on [loK, hiK]: march the prefix up and down from the
 	// owned range using the locally stored D(P) halo levels.
 	// prefix(k) = Σ_{k'<k} Δσ_{k'} D(P)_{k'}; PWI(k) = σ_I[k]·DBar − prefix(k).
-	prefix := make([]float64, plane)
+	sc.prefix = grown(sc.prefix, plane)
+	prefix := sc.prefix
 	copy(prefix, base)
 	// Downward sweep: interfaces K0 … hiK.
 	for k := b.K0; k <= hiK; k++ {

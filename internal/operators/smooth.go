@@ -100,23 +100,21 @@ func (s *Smoother) P2Former(in, out *field.F3, r field.Rect, avail AvailFunc) in
 	var rows [5][]float64
 	for k := r.K0; k < r.K1; k++ {
 		for j := r.J0; j < r.J1; j++ {
+			// The avail window is contiguous, so the retained offsets form one
+			// contiguous d range — the inner loop then runs without per-row
+			// nil checks, in the same ascending-d order (bitwise-identical
+			// accumulation).
 			lo, hi := avail(j)
-			for d := -2; d <= 2; d++ {
-				if jj := j + d; jj >= lo && jj < hi {
-					rows[d+2] = in.Row(jj, k)
-				} else {
-					rows[d+2] = nil
-				}
+			dLo, dHi := clampD(lo-j, hi-1-j)
+			for d := dLo; d <= dHi; d++ {
+				rows[d+2] = in.Row(j+d, k)
 			}
 			dst := out.Row(j, k)
 			for i := r.I0; i < r.I1; i++ {
 				o := i + xo
 				acc := 0.0
-				for d := -2; d <= 2; d++ {
+				for d := dLo; d <= dHi; d++ {
 					rw := rows[d+2]
-					if rw == nil {
-						continue
-					}
 					acc += s.rowC1[d+2]*rw[o] + s.rowC2[d+2]*(rw[o-2]-4*rw[o-1]+6*rw[o]-4*rw[o+1]+rw[o+2])
 				}
 				dst[o] = acc
@@ -124,6 +122,17 @@ func (s *Smoother) P2Former(in, out *field.F3, r field.Rect, avail AvailFunc) in
 		}
 	}
 	return r.Count()
+}
+
+// clampD clips an inclusive offset range to the stencil offsets [−2, 2].
+func clampD(lo, hi int) (int, int) {
+	if lo < -2 {
+		lo = -2
+	}
+	if hi > 2 {
+		hi = 2
+	}
+	return lo, hi
 }
 
 // P2Latter adds the latter-smoothing contributions to cur over r: for each
@@ -140,22 +149,34 @@ func (s *Smoother) P2Latter(orig, cur *field.F3, r field.Rect, avail AvailFunc) 
 			if j-2 >= lo && j+2 < hi {
 				continue // fully smoothed in the former stage
 			}
-			for d := -2; d <= 2; d++ {
-				if jj := j + d; jj < lo || jj >= hi {
-					rows[d+2] = orig.Row(jj, k)
-				} else {
-					rows[d+2] = nil
-				}
+			// The out-of-window offsets are the complement of one contiguous
+			// window: at most two contiguous d ranges, processed in ascending
+			// d (range a below the window, then range b above it) — the same
+			// accumulation order as the per-offset nil-check loop.
+			aHi := lo - j - 1 // last offset below the window
+			if aHi > 2 {
+				aHi = 2
+			}
+			bLo := hi - j // first offset above the window
+			if bLo < -2 {
+				bLo = -2
+			}
+			for d := -2; d <= aHi; d++ {
+				rows[d+2] = orig.Row(j+d, k)
+			}
+			for d := bLo; d <= 2; d++ {
+				rows[d+2] = orig.Row(j+d, k)
 			}
 			dst := cur.Row(j, k)
 			for i := r.I0; i < r.I1; i++ {
 				o := i + xo
 				acc := 0.0
-				for d := -2; d <= 2; d++ {
+				for d := -2; d <= aHi; d++ {
 					rw := rows[d+2]
-					if rw == nil {
-						continue
-					}
+					acc += s.rowC1[d+2]*rw[o] + s.rowC2[d+2]*(rw[o-2]-4*rw[o-1]+6*rw[o]-4*rw[o+1]+rw[o+2])
+				}
+				for d := bLo; d <= 2; d++ {
+					rw := rows[d+2]
 					acc += s.rowC1[d+2]*rw[o] + s.rowC2[d+2]*(rw[o-2]-4*rw[o-1]+6*rw[o]-4*rw[o+1]+rw[o+2])
 				}
 				dst[o] += acc
@@ -166,21 +187,28 @@ func (s *Smoother) P2Latter(orig, cur *field.F3, r field.Rect, avail AvailFunc) 
 	return work
 }
 
-// P2Former2 / P2Latter2 are the 2-D (p'_sa) counterparts.
+// P2Former2 / P2Latter2 are the 2-D (p'_sa) counterparts; like the 3-D
+// versions they walk raw x-row slices over contiguous d ranges, with the
+// accumulation order (and therefore the bits) of the per-point formulation.
 func (s *Smoother) P2Former2(in, out *field.F2, r field.Rect, avail AvailFunc) int {
 	r = r.Flat2D()
+	xo := in.XOff(0)
+	var rows [5][]float64
 	for j := r.J0; j < r.J1; j++ {
 		lo, hi := avail(j)
+		dLo, dHi := clampD(lo-j, hi-1-j)
+		for d := dLo; d <= dHi; d++ {
+			rows[d+2] = in.Row(j + d)
+		}
+		dst := out.Row(j)
 		for i := r.I0; i < r.I1; i++ {
+			o := i + xo
 			acc := 0.0
-			for d := -2; d <= 2; d++ {
-				jj := j + d
-				if jj < lo || jj >= hi {
-					continue
-				}
-				acc += s.rowC1[d+2]*in.At(i, jj) + s.rowC2[d+2]*delta4X2(in, i, jj)
+			for d := dLo; d <= dHi; d++ {
+				rw := rows[d+2]
+				acc += s.rowC1[d+2]*rw[o] + s.rowC2[d+2]*(rw[o-2]-4*rw[o-1]+6*rw[o]-4*rw[o+1]+rw[o+2])
 			}
-			out.Set(i, j, acc)
+			dst[o] = acc
 		}
 	}
 	return r.Count()
@@ -189,21 +217,40 @@ func (s *Smoother) P2Former2(in, out *field.F2, r field.Rect, avail AvailFunc) i
 func (s *Smoother) P2Latter2(orig, cur *field.F2, r field.Rect, avail AvailFunc) int {
 	r = r.Flat2D()
 	work := 0
+	xo := orig.XOff(0)
+	var rows [5][]float64
 	for j := r.J0; j < r.J1; j++ {
 		lo, hi := avail(j)
 		if j-2 >= lo && j+2 < hi {
 			continue
 		}
+		aHi := lo - j - 1
+		if aHi > 2 {
+			aHi = 2
+		}
+		bLo := hi - j
+		if bLo < -2 {
+			bLo = -2
+		}
+		for d := -2; d <= aHi; d++ {
+			rows[d+2] = orig.Row(j + d)
+		}
+		for d := bLo; d <= 2; d++ {
+			rows[d+2] = orig.Row(j + d)
+		}
+		dst := cur.Row(j)
 		for i := r.I0; i < r.I1; i++ {
+			o := i + xo
 			acc := 0.0
-			for d := -2; d <= 2; d++ {
-				jj := j + d
-				if jj >= lo && jj < hi {
-					continue
-				}
-				acc += s.rowC1[d+2]*orig.At(i, jj) + s.rowC2[d+2]*delta4X2(orig, i, jj)
+			for d := -2; d <= aHi; d++ {
+				rw := rows[d+2]
+				acc += s.rowC1[d+2]*rw[o] + s.rowC2[d+2]*(rw[o-2]-4*rw[o-1]+6*rw[o]-4*rw[o+1]+rw[o+2])
 			}
-			cur.Add(i, j, acc)
+			for d := bLo; d <= 2; d++ {
+				rw := rows[d+2]
+				acc += s.rowC1[d+2]*rw[o] + s.rowC2[d+2]*(rw[o-2]-4*rw[o-1]+6*rw[o]-4*rw[o+1]+rw[o+2])
+			}
+			dst[o] += acc
 		}
 		work += r.I1 - r.I0
 	}

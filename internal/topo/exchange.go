@@ -26,6 +26,12 @@ type Exchanger struct {
 	peers      []peer // F3 exchange partners, sorted by rank
 	peers2     []peer // F2 exchange partners (horizontal footprint, same Cz)
 	maxCount   int    // largest single-field message length (for buffers)
+
+	// Persistent pack/unpack buffers and Pending, so steady-state exchanges
+	// allocate nothing. At most one exchange may be outstanding per
+	// Exchanger (Begin … Finish); integrators satisfy this by construction.
+	sendBuf, recvBuf []float64
+	pend             Pending
 }
 
 // peer describes the traffic with one neighboring rank. sendRects are in
@@ -296,7 +302,10 @@ func (e *Exchanger) Begin(f3s []*field.F3, f2s []*field.F2) *Pending {
 	c := e.t.World
 	prev := c.SetCategory(comm.CatStencil)
 	defer c.SetCategory(prev)
-	buf := make([]float64, e.maxCount)
+	if len(e.sendBuf) < e.maxCount {
+		e.sendBuf = make([]float64, e.maxCount)
+	}
+	buf := e.sendBuf
 	for _, pr := range e.peers {
 		for fi, f := range f3s {
 			n := 0
@@ -319,7 +328,8 @@ func (e *Exchanger) Begin(f3s []*field.F3, f2s []*field.F2) *Pending {
 			}
 		}
 	}
-	return &Pending{e: e, f3s: f3s, f2s: f2s}
+	e.pend = Pending{e: e, f3s: f3s, f2s: f2s}
+	return &e.pend
 }
 
 // Finish drains all receives of the exchange and unpacks them into the halo
@@ -329,7 +339,10 @@ func (p *Pending) Finish() {
 	c := e.t.World
 	prev := c.SetCategory(comm.CatStencil)
 	defer c.SetCategory(prev)
-	buf := make([]float64, e.maxCount)
+	if len(e.recvBuf) < e.maxCount {
+		e.recvBuf = make([]float64, e.maxCount)
+	}
+	buf := e.recvBuf
 	for _, pr := range e.peers {
 		for fi, f := range p.f3s {
 			if pr.recvN == 0 {
