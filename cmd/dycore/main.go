@@ -45,8 +45,18 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print a per-rank ASCII timeline of the simulated run")
 	shiftPoles := flag.Bool("shiftpoles", false, "exact (antipodal-meridian) pole mirror; requires p_x = 1")
 	saveFile := flag.String("save", "", "write a restart checkpoint to this file at the end")
+	saveEvery := flag.Int("save-every", 0, "also write the -save checkpoint every K steps (crash durability; 0 = only at the end)")
 	loadFile := flag.String("load", "", "initialize from a restart checkpoint instead of the H-S initial state")
 	flag.Parse()
+
+	if *saveEvery < 0 {
+		fmt.Fprintln(os.Stderr, "-save-every must be >= 0")
+		os.Exit(2)
+	}
+	if *saveEvery > 0 && *saveFile == "" {
+		fmt.Fprintln(os.Stderr, "-save-every requires -save")
+		os.Exit(2)
+	}
 
 	cfg := dycore.DefaultConfig()
 	cfg.M = *m
@@ -95,26 +105,25 @@ func main() {
 	fmt.Printf("%s on %s, process grid %dx%d (%d ranks), M=%d, %d steps\n",
 		a, g, *pa, *pb, set.Procs(), cfg.M, *steps)
 
-	var res dycore.RunResult
-	var rec *comm.Recorder
-	if *timeline {
-		res, rec = dycore.RunTraced(set, g, comm.TianheLike(), init, *steps, hook)
-	} else {
-		res = dycore.RunWithHook(set, g, comm.TianheLike(), init, *steps, hook)
+	opts := dycore.RunOpts{Hook: hook, Traced: *timeline}
+	if *saveEvery > 0 {
+		// The same snapshot cadence the job service uses: the runner
+		// quiesces all ranks at the boundary, the callback gathers and
+		// writes atomically (temp + rename) so a crash mid-write never
+		// corrupts the previous checkpoint.
+		opts.SnapshotEvery = *saveEvery
+		opts.Snapshot = func(done int, sts []*state.State) {
+			if err := writeCheckpoint(*saveFile, checkpoint.Gather(g, sts)); err != nil {
+				fmt.Fprintln(os.Stderr, "save-every:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("checkpoint written to %s at step %d\n", *saveFile, done)
+		}
 	}
+	res, rec := dycore.RunWithOpts(set, g, comm.TianheLike(), init, *steps, opts)
 
 	if *saveFile != "" {
-		snap := checkpoint.Gather(g, res.Finals)
-		fh, err := os.Create(*saveFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "save:", err)
-			os.Exit(1)
-		}
-		if err := snap.Write(fh); err != nil {
-			fmt.Fprintln(os.Stderr, "save:", err)
-			os.Exit(1)
-		}
-		if err := fh.Close(); err != nil {
+		if err := writeCheckpoint(*saveFile, checkpoint.Gather(g, res.Finals)); err != nil {
 			fmt.Fprintln(os.Stderr, "save:", err)
 			os.Exit(1)
 		}
@@ -150,4 +159,24 @@ func main() {
 	fmt.Printf("max wind: %.2f m/s\n", diag.MaxWind(g, res.Finals))
 	fmt.Printf("kinetic energy: %.6g, available energy: %.6g\n",
 		diag.KineticEnergy(g, res.Finals), diag.AvailableEnergy(g, res.Finals))
+}
+
+// writeCheckpoint writes the snapshot atomically: temp file + rename, so an
+// interrupted write leaves the previous checkpoint intact.
+func writeCheckpoint(path string, snap *checkpoint.Global) error {
+	tmp := path + ".tmp"
+	fh, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := snap.Write(fh); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

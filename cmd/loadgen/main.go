@@ -1,0 +1,224 @@
+// Command loadgen is a closed-loop load generator for the simulation job
+// service: C concurrent clients each submit a job, poll it to a terminal
+// state, and immediately submit the next, until N jobs have completed. It
+// reports submit-to-complete latency quantiles, throughput and the
+// admission-control rejection count as BENCH_service.json — the
+// service-level companion of cmd/bench's kernel benchmarks.
+//
+// Usage:
+//
+//	loadgen [-addr host:port] [-n 24] [-c 4] [-steps 2] [-o BENCH_service.json]
+//
+// Without -addr it boots an in-process service (-workers, -queue size it)
+// on a loopback listener, so the benchmark is self-contained.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cadycore/internal/server"
+)
+
+type benchReport struct {
+	Target        string  `json:"target"`
+	Jobs          int     `json:"jobs"`
+	Clients       int     `json:"clients"`
+	Workers       int     `json:"workers,omitempty"` // self-serve mode
+	QueueCap      int     `json:"queue_cap,omitempty"`
+	Steps         int     `json:"steps_per_job"`
+	Completed     int     `json:"completed"`
+	Failed        int     `json:"failed"`
+	Rejected      int64   `json:"rejected_submits"`
+	WallSec       float64 `json:"wall_sec"`
+	ThroughputJPS float64 `json:"throughput_jobs_per_sec"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	P50Ms         float64 `json:"latency_p50_ms"`
+	P90Ms         float64 `json:"latency_p90_ms"`
+	P99Ms         float64 `json:"latency_p99_ms"`
+	MeanMs        float64 `json:"latency_mean_ms"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "target service address (empty: boot an in-process service)")
+	n := flag.Int("n", 24, "total jobs to complete")
+	c := flag.Int("c", 4, "concurrent closed-loop clients")
+	workers := flag.Int("workers", 2, "in-process service: worker pool size")
+	queue := flag.Int("queue", 4, "in-process service: admission queue bound")
+	alg := flag.String("alg", "yz", "job algorithm: ca, yz, xy")
+	nx := flag.Int("nx", 48, "mesh points in longitude")
+	ny := flag.Int("ny", 24, "mesh points in latitude")
+	nz := flag.Int("nz", 8, "mesh levels")
+	pa := flag.Int("pa", 2, "first process-grid extent")
+	pb := flag.Int("pb", 2, "second process-grid extent")
+	m := flag.Int("m", 2, "nonlinear iterations per step")
+	steps := flag.Int("steps", 2, "steps per job")
+	out := flag.String("o", "BENCH_service.json", "output JSON path")
+	flag.Parse()
+
+	base := *addr
+	rep := benchReport{Jobs: *n, Clients: *c, Steps: *steps}
+	if base == "" {
+		srv, err := server.New(server.Config{Workers: *workers, QueueCap: *queue})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		go http.Serve(ln, srv)
+		base = ln.Addr().String()
+		rep.Workers = *workers
+		rep.QueueCap = *queue
+		fmt.Printf("loadgen: self-serving on %s (%d workers, queue %d)\n", base, *workers, *queue)
+	}
+	rep.Target = "http://" + base
+
+	spec := map[string]any{
+		"alg": *alg, "nx": *nx, "ny": *ny, "nz": *nz,
+		"pa": *pa, "pb": *pb, "m": *m, "steps": *steps,
+	}
+	specB, _ := json.Marshal(spec)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failed    int
+		rejected  atomic.Int64
+		remaining atomic.Int64
+	)
+	remaining.Store(int64(*n))
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *c; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for remaining.Add(-1) >= 0 {
+				t0 := time.Now()
+				id, ok := submit(client, rep.Target, specB, &rejected)
+				if !ok {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+					continue
+				}
+				state := poll(client, rep.Target, id)
+				lat := time.Since(t0)
+				mu.Lock()
+				if state == "completed" {
+					latencies = append(latencies, lat)
+				} else {
+					failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.WallSec = time.Since(start).Seconds()
+	rep.Completed = len(latencies)
+	rep.Failed = failed
+	rep.Rejected = rejected.Load()
+	if rep.WallSec > 0 {
+		rep.ThroughputJPS = float64(rep.Completed) / rep.WallSec
+		rep.StepsPerSec = float64(rep.Completed**steps) / rep.WallSec
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50Ms = quantileMs(latencies, 0.50)
+	rep.P90Ms = quantileMs(latencies, 0.90)
+	rep.P99Ms = quantileMs(latencies, 0.99)
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	if len(latencies) > 0 {
+		rep.MeanMs = float64(sum.Milliseconds()) / float64(len(latencies))
+	}
+
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("completed %d/%d jobs in %.2fs (%.1f jobs/s), rejected submits %d, p50 %.0fms p99 %.0fms -> %s\n",
+		rep.Completed, rep.Jobs, rep.WallSec, rep.ThroughputJPS, rep.Rejected, rep.P50Ms, rep.P99Ms, *out)
+	if rep.Completed < rep.Jobs {
+		os.Exit(1)
+	}
+}
+
+// submit posts the job, retrying transient backpressure (429/503) with the
+// closed-loop client parked — exactly what admission control is for.
+func submit(client *http.Client, base string, spec []byte, rejected *atomic.Int64) (string, bool) {
+	for attempt := 0; attempt < 2000; attempt++ {
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			return "", false
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st struct {
+				ID string `json:"id"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			return st.ID, err == nil && st.ID != ""
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			resp.Body.Close()
+			rejected.Add(1)
+			time.Sleep(10 * time.Millisecond)
+		default:
+			resp.Body.Close()
+			return "", false
+		}
+	}
+	return "", false
+}
+
+func poll(client *http.Client, base, id string) string {
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/jobs/" + id)
+		if err != nil {
+			return "error"
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return "error"
+		}
+		switch st.State {
+		case "completed", "failed", "cancelled", "interrupted":
+			return st.State
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return "timeout"
+}
+
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,119 @@
+package dycore
+
+import (
+	"sync"
+
+	"cadycore/internal/state"
+)
+
+// RunOpts bundles the optional controls of a run. The zero value reproduces
+// plain Run. Progress, ShouldStop and Snapshot engage a step-boundary
+// barrier: after every step all ranks park on a real (wall-clock) barrier —
+// invisible to the simulated LogP clock and the communication statistics —
+// where a single leader samples the callbacks. This gives every rank the
+// same stop decision (no rank can run ahead into a collective its peers
+// abandoned) and gives Snapshot a quiesced, consistent view of all per-rank
+// states.
+type RunOpts struct {
+	// Hook runs on each rank after every step (Held–Suarez forcing etc.);
+	// it must be pointwise. Identical to the hook of RunWithHook.
+	Hook StepHook
+	// Progress, if non-nil, is called once per step boundary with the
+	// number of completed steps (1-based). It runs on one goroutine at a
+	// time, while all ranks are parked.
+	Progress func(done int)
+	// ShouldStop, if non-nil, is sampled once per step boundary by the
+	// barrier leader; returning true stops every rank at that boundary
+	// (Finalize still runs, so Finals are well-formed). Use it to plumb a
+	// context cancellation or deadline into the run.
+	ShouldStop func() bool
+	// Snapshot, if non-nil, is called while all ranks are quiesced at a
+	// step boundary, with the completed-step count and the per-rank states
+	// in rank order. It fires every SnapshotEvery-th boundary and, in any
+	// case, at a ShouldStop-triggered stop (so a cancelled run always
+	// leaves a checkpoint at its exact stop point).
+	Snapshot func(done int, sts []*state.State)
+	// SnapshotEvery is the cadence of Snapshot in steps; <= 0 means only
+	// stop-triggered snapshots.
+	SnapshotEvery int
+	// Traced enables per-rank event tracing (see RunTraced).
+	Traced bool
+}
+
+// controlled reports whether the step-boundary barrier is needed.
+func (o RunOpts) controlled() bool {
+	return o.Progress != nil || o.ShouldStop != nil || o.Snapshot != nil
+}
+
+// stepCtl is the step-boundary barrier. Ranks call arrive after each step;
+// the last rank to arrive becomes the leader, runs the callbacks under the
+// lock (all peers are parked in Wait), publishes the stop decision and
+// releases the generation.
+type stepCtl struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	opts RunOpts
+
+	n       int
+	arrived int
+	gen     uint64
+	stop    bool
+	broken  bool
+	sts     []*state.State
+}
+
+func newStepCtl(n int, opts RunOpts) *stepCtl {
+	c := &stepCtl{opts: opts, n: n, sts: make([]*state.State, n)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// arrive parks the rank at the boundary after `done` completed steps and
+// returns the leader's stop decision for that boundary. st is the rank's
+// current state, registered for Snapshot.
+func (c *stepCtl) arrive(done, rank int, st *state.State) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return true
+	}
+	c.sts[rank] = st
+	c.arrived++
+	if c.arrived < c.n {
+		gen := c.gen
+		for gen == c.gen && !c.broken {
+			c.cond.Wait()
+		}
+		if c.broken {
+			return true
+		}
+		return c.stop
+	}
+	// Leader: every rank is parked at this boundary. Progress is reported
+	// before the stop decision so a controller reacting to it (deadline,
+	// cancellation) takes effect at this same boundary.
+	if c.opts.Progress != nil {
+		c.opts.Progress(done)
+	}
+	stop := c.opts.ShouldStop != nil && c.opts.ShouldStop()
+	if c.opts.Snapshot != nil && (stop || (c.opts.SnapshotEvery > 0 && done%c.opts.SnapshotEvery == 0)) {
+		c.opts.Snapshot(done, c.sts)
+	}
+	c.stop = stop
+	c.arrived = 0
+	c.gen++
+	c.cond.Broadcast()
+	return stop
+}
+
+// abort releases every parked rank with a stop decision. It is called when a
+// rank panics so its peers do not wait forever on a barrier the dead rank
+// can never reach (the comm layer's poison only wakes ranks blocked in
+// Recv, not on this barrier).
+func (c *stepCtl) abort() {
+	c.mu.Lock()
+	c.broken = true
+	c.gen++
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

@@ -1,0 +1,135 @@
+package dycore_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cadycore/internal/checkpoint"
+	"cadycore/internal/comm"
+	"cadycore/internal/dycore"
+	"cadycore/internal/grid"
+	"cadycore/internal/heldsuarez"
+	"cadycore/internal/state"
+)
+
+func ctlSetup(alg dycore.Algorithm) (dycore.Setup, *grid.Grid, dycore.StepHook) {
+	g := grid.New(48, 24, 8)
+	cfg := dycore.DefaultConfig()
+	cfg.M = 2
+	hs := heldsuarez.Standard()
+	hook := func(g *grid.Grid, st *state.State, step int) { hs.Apply(g, st, cfg.Dt2) }
+	return dycore.Setup{Alg: alg, PA: 2, PB: 2, Cfg: cfg}, g, hook
+}
+
+// TestRunWithOptsProgress checks the boundary callbacks: progress fires once
+// per step in order and StepsDone matches the request when nothing stops
+// the run.
+func TestRunWithOptsProgress(t *testing.T) {
+	set, g, hook := ctlSetup(dycore.AlgBaselineYZ)
+	var seen []int
+	res, _ := dycore.RunWithOpts(set, g, comm.TianheLike(), heldsuarez.InitialState, 3, dycore.RunOpts{
+		Hook:     hook,
+		Progress: func(done int) { seen = append(seen, done) },
+	})
+	if res.StepsDone != 3 {
+		t.Fatalf("StepsDone = %d, want 3", res.StepsDone)
+	}
+	if len(seen) != 3 || seen[0] != 1 || seen[1] != 2 || seen[2] != 3 {
+		t.Fatalf("progress sequence = %v, want [1 2 3]", seen)
+	}
+}
+
+// TestRunWithOptsCancel checks that a stop request lands on every rank at
+// the same step boundary: the run ends early, all finals are present, and
+// the partial result is bitwise identical to an uninterrupted run of the
+// same length (baseline Y-Z restarts are exact).
+func TestRunWithOptsCancel(t *testing.T) {
+	set, g, hook := ctlSetup(dycore.AlgBaselineYZ)
+	var stop atomic.Bool
+	res, _ := dycore.RunWithOpts(set, g, comm.TianheLike(), heldsuarez.InitialState, 50, dycore.RunOpts{
+		Hook: hook,
+		Progress: func(done int) {
+			if done == 2 {
+				stop.Store(true)
+			}
+		},
+		ShouldStop: stop.Load,
+	})
+	if res.StepsDone != 2 {
+		t.Fatalf("StepsDone = %d, want 2 (stop requested at boundary 2)", res.StepsDone)
+	}
+	for r, st := range res.Finals {
+		if st == nil {
+			t.Fatalf("rank %d has no final state after cancel", r)
+		}
+	}
+	ref := dycore.RunWithHook(set, g, comm.TianheLike(), heldsuarez.InitialState, 2, hook)
+	if d := dycore.MaxDiffGlobal(g, ref.Finals, res.Finals); d != 0 {
+		t.Fatalf("cancelled run differs from straight 2-step run: maxdiff %g", d)
+	}
+}
+
+// TestRunWithOptsSnapshotResume pins restart exactness through the quiesced
+// snapshot path: a snapshot taken at the cadence boundary, resumed for the
+// remaining steps, reaches a bitwise-identical final state.
+func TestRunWithOptsSnapshotResume(t *testing.T) {
+	set, g, hook := ctlSetup(dycore.AlgBaselineYZ)
+	snaps := map[int]*checkpoint.Global{}
+	full, _ := dycore.RunWithOpts(set, g, comm.TianheLike(), heldsuarez.InitialState, 4, dycore.RunOpts{
+		Hook:          hook,
+		SnapshotEvery: 2,
+		Snapshot: func(done int, sts []*state.State) {
+			snaps[done] = checkpoint.Gather(g, sts)
+		},
+	})
+	if full.StepsDone != 4 {
+		t.Fatalf("StepsDone = %d, want 4", full.StepsDone)
+	}
+	if snaps[2] == nil || snaps[4] == nil {
+		t.Fatalf("snapshot cadence 2 over 4 steps produced boundaries %v, want 2 and 4", keys(snaps))
+	}
+	rest := dycore.RunWithHook(set, g, comm.TianheLike(), snaps[2].InitFunc(), 2, hook)
+	if d := dycore.MaxDiffGlobal(g, full.Finals, rest.Finals); d != 0 {
+		t.Fatalf("resumed run differs from uninterrupted run: maxdiff %g", d)
+	}
+	// The final-boundary snapshot equals the gathered finals (baseline's
+	// Finalize is a no-op, so the boundary state is the final state).
+	if !snaps[4].Equal(checkpoint.Gather(g, full.Finals)) {
+		t.Fatalf("final-boundary snapshot differs from gathered finals")
+	}
+}
+
+// TestRunWithOptsStopSnapshot checks that a stop always leaves a snapshot at
+// the stop boundary even off-cadence.
+func TestRunWithOptsStopSnapshot(t *testing.T) {
+	set, g, hook := ctlSetup(dycore.AlgBaselineYZ)
+	var stop atomic.Bool
+	snaps := map[int]*checkpoint.Global{}
+	res, _ := dycore.RunWithOpts(set, g, comm.TianheLike(), heldsuarez.InitialState, 50, dycore.RunOpts{
+		Hook: hook,
+		Progress: func(done int) {
+			if done == 3 {
+				stop.Store(true)
+			}
+		},
+		ShouldStop:    stop.Load,
+		SnapshotEvery: 10,
+		Snapshot: func(done int, sts []*state.State) {
+			snaps[done] = checkpoint.Gather(g, sts)
+		},
+	})
+	if res.StepsDone != 3 {
+		t.Fatalf("StepsDone = %d, want 3", res.StepsDone)
+	}
+	if snaps[3] == nil {
+		t.Fatalf("no stop-boundary snapshot; got boundaries %v", keys(snaps))
+	}
+}
+
+func keys(m map[int]*checkpoint.Global) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

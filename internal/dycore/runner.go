@@ -113,6 +113,9 @@ type RunResult struct {
 	Agg    comm.Aggregate
 	Count  Counters
 	Finals []*state.State // per-rank final states (rank order)
+	// StepsDone is the number of steps actually executed: equal to the
+	// requested count unless RunOpts.ShouldStop ended the run early.
+	StepsDone int
 }
 
 // StepHook runs on each rank after every Step, on that rank's state (owned
@@ -130,26 +133,49 @@ func Run(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps int) R
 
 // RunWithHook is Run with a per-step hook (nil means none).
 func RunWithHook(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps int, hook StepHook) RunResult {
-	res, _ := runOnWorld(s, g, model, init, steps, hook, false)
+	res, _ := runOnWorld(s, g, model, init, steps, RunOpts{Hook: hook})
 	return res
 }
 
 // RunTraced is RunWithHook with per-rank event tracing enabled; it also
 // returns the recorder for timeline rendering (internal/trace).
 func RunTraced(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps int, hook StepHook) (RunResult, *comm.Recorder) {
-	return runOnWorld(s, g, model, init, steps, hook, true)
+	return runOnWorld(s, g, model, init, steps, RunOpts{Hook: hook, Traced: true})
 }
 
-func runOnWorld(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps int, hook StepHook, traced bool) (RunResult, *comm.Recorder) {
+// RunWithOpts is the fully controlled entry point: per-step progress,
+// cooperative cancellation and quiesced snapshots (see RunOpts). It is what
+// the job service (internal/server) and periodic checkpointing build on.
+func RunWithOpts(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps int, opts RunOpts) (RunResult, *comm.Recorder) {
+	return runOnWorld(s, g, model, init, steps, opts)
+}
+
+func runOnWorld(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps int, opts RunOpts) (RunResult, *comm.Recorder) {
 	p := s.Procs()
 	w := comm.NewWorld(p, model)
 	var rec *comm.Recorder
-	if traced {
+	if opts.Traced {
 		rec = w.EnableTrace()
 	}
+	var ctl *stepCtl
+	if opts.controlled() {
+		ctl = newStepCtl(p, opts)
+	}
+	hook := opts.Hook
 	finals := make([]*state.State, p)
 	counts := make([]Counters, p)
+	done := make([]int, p)
 	w.Run(func(c *comm.Comm) {
+		if ctl != nil {
+			// A panicking rank must release peers parked on the step
+			// barrier before the panic propagates to World.Run.
+			defer func() {
+				if r := recover(); r != nil {
+					ctl.abort()
+					panic(r)
+				}
+			}()
+		}
 		tp, ig := s.Build(c, g)
 		st := state.New(tp.Block)
 		init(g, st)
@@ -163,12 +189,16 @@ func runOnWorld(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps
 			if hook != nil {
 				hook(g, ig.Xi(), k)
 			}
+			done[c.Rank()] = k + 1
+			if ctl != nil && ctl.arrive(k+1, c.Rank(), ig.Xi()) {
+				break
+			}
 		}
 		ig.Finalize()
 		finals[c.Rank()] = ig.Xi()
 		counts[c.Rank()] = ig.Counters()
 	})
-	return RunResult{Setup: s, Agg: w.Stats(), Count: counts[0], Finals: finals}, rec
+	return RunResult{Setup: s, Agg: w.Stats(), Count: counts[0], Finals: finals, StepsDone: done[0]}, rec
 }
 
 // GatherOwned assembles the owned regions of per-rank fields into a single

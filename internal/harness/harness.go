@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"cadycore/internal/comm"
 	"cadycore/internal/costmodel"
@@ -33,7 +34,30 @@ type Options struct {
 	Ps         []int
 	Model      comm.NetModel
 
-	cache map[cacheKey]cacheVal
+	cache *runCache
+}
+
+// runCache is the shared memoization of (algorithm, p, variant) cells. It is
+// held by pointer so value copies of Options share it, and mutex-guarded so
+// concurrent sweeps (the job service runs figure jobs on a worker pool) are
+// safe. Concurrent misses of the same cell may both execute the run; the
+// results are deterministic, so either store is correct.
+type runCache struct {
+	mu sync.Mutex
+	m  map[cacheKey]cacheVal
+}
+
+func (rc *runCache) get(k cacheKey) (cacheVal, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	v, ok := rc.m[k]
+	return v, ok
+}
+
+func (rc *runCache) put(k cacheKey, v cacheVal) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.m[k] = v
 }
 
 type cacheKey struct {
@@ -143,7 +167,7 @@ func XYFactors(p, nx, ny int) (px, py int, ok bool) {
 // automatically. After Prime, value copies of the Options share the cache.
 func (o *Options) Prime() {
 	if o.cache == nil {
-		o.cache = make(map[cacheKey]cacheVal)
+		o.cache = &runCache{m: make(map[cacheKey]cacheVal)}
 	}
 }
 
@@ -158,14 +182,14 @@ func (o Options) run(alg dycore.Algorithm, p int) (dycore.RunResult, bool) {
 // runVariant is run with a config mutation identified by a cache label.
 func (o Options) runVariant(alg dycore.Algorithm, p int, variant string, mut func(*dycore.Config)) (dycore.RunResult, bool) {
 	if o.cache != nil {
-		if v, hit := o.cache[cacheKey{alg, p, variant}]; hit {
+		if v, hit := o.cache.get(cacheKey{alg, p, variant}); hit {
 			return v.res, v.ok
 		}
 	}
 	res, ok := o.runUncached(alg, p, mut)
 	res.Finals = nil
 	if o.cache != nil {
-		o.cache[cacheKey{alg, p, variant}] = cacheVal{res, ok}
+		o.cache.put(cacheKey{alg, p, variant}, cacheVal{res, ok})
 	}
 	return res, ok
 }

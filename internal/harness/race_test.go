@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSweepsShareCache runs two full figure sweeps concurrently on
+// one primed Options, the situation the job service's worker pool creates
+// when two figure jobs share a memo cache. Run under -race (CI does) this
+// pins the cache's mutex guarding; it also checks both sweeps agree.
+func TestConcurrentSweepsShareCache(t *testing.T) {
+	o := Quick()
+	o.Prime()
+	results := make([][]Figure, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = AllFigures(o)
+		}(i)
+	}
+	wg.Wait()
+	if len(results[0]) != len(results[1]) {
+		t.Fatalf("sweeps produced %d vs %d figures", len(results[0]), len(results[1]))
+	}
+	for fi := range results[0] {
+		a, b := results[0][fi], results[1][fi]
+		for si := range a.Series {
+			for vi := range a.Series[si].Values {
+				va, vb := a.Series[si].Values[vi], b.Series[si].Values[vi]
+				if va != vb && !(va != va && vb != vb) { // NaN == NaN here
+					t.Fatalf("%s series %q p-index %d: %g vs %g",
+						a.ID, a.Series[si].Name, vi, va, vb)
+				}
+			}
+		}
+	}
+}

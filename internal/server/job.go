@@ -1,0 +1,412 @@
+// Package server is the simulation job service: an HTTP/JSON control plane
+// that queues dynamical-core runs and harness sweeps, executes them on a
+// worker pool over the goroutine-rank comm runtime, checkpoints them
+// periodically through internal/checkpoint, and exposes progress, comm
+// statistics, physical diagnostics and Prometheus-style metrics. It turns
+// the paper's evaluation — a matrix of (algorithm, process count) cells —
+// into schedulable, cancellable, resumable jobs.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cadycore/internal/checkpoint"
+	"cadycore/internal/comm"
+	"cadycore/internal/diag"
+	"cadycore/internal/dycore"
+	"cadycore/internal/grid"
+	"cadycore/internal/state"
+)
+
+// JobSpec is the submitted description of one job. The zero value of every
+// field means "default"; Normalize fills defaults and validates.
+type JobSpec struct {
+	// Kind selects the workload: "run" (default) is one dynamical-core
+	// configuration; "figures" reproduces the paper's figure sweep
+	// (internal/harness) over Ps.
+	Kind string `json:"kind,omitempty"`
+	// Alg is the integrator for run jobs: ca, yz, xy or 3d.
+	Alg string `json:"alg,omitempty"`
+
+	Nx int `json:"nx,omitempty"`
+	Ny int `json:"ny,omitempty"`
+	Nz int `json:"nz,omitempty"`
+
+	// PA and PB are the process-grid extents ((p_y, p_z) for ca/yz, (p_x,
+	// p_y) for xy); PC is the third extent of 3d runs.
+	PA int `json:"pa,omitempty"`
+	PB int `json:"pb,omitempty"`
+	PC int `json:"pc,omitempty"`
+
+	M     int     `json:"m,omitempty"`
+	Steps int     `json:"steps,omitempty"`
+	Dt1   float64 `json:"dt1,omitempty"`
+	Dt2   float64 `json:"dt2,omitempty"`
+
+	// HeldSuarez applies the Held–Suarez forcing between steps (default
+	// true, like cmd/dycore).
+	HeldSuarez *bool `json:"held_suarez,omitempty"`
+
+	// CheckpointEvery > 0 snapshots the run every that many steps (the
+	// durability cadence); a stopped run is checkpointed at its stop
+	// boundary regardless.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+
+	// DeadlineSec > 0 bounds the wall-clock run time of one execution
+	// segment; an exceeded deadline interrupts the job at a step boundary
+	// (resumable).
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+
+	// Ps is the process-count axis of figures jobs.
+	Ps []int `json:"ps,omitempty"`
+}
+
+// service guardrails: a submitted spec may not exceed these.
+const (
+	maxRanks     = 1024
+	maxMeshCells = 1 << 24
+	maxSteps     = 1_000_000
+)
+
+// Normalize fills defaults in place and validates the spec.
+func (sp *JobSpec) Normalize() error {
+	switch sp.Kind {
+	case "":
+		sp.Kind = "run"
+	case "run", "figures":
+	default:
+		return fmt.Errorf("unknown kind %q (want run or figures)", sp.Kind)
+	}
+	if sp.Nx == 0 {
+		sp.Nx = 48
+	}
+	if sp.Ny == 0 {
+		sp.Ny = 24
+	}
+	if sp.Nz == 0 {
+		sp.Nz = 8
+	}
+	if sp.M == 0 {
+		sp.M = 3
+	}
+	if sp.Steps == 0 {
+		sp.Steps = 4
+	}
+	if sp.Dt1 == 0 {
+		sp.Dt1 = 30
+	}
+	if sp.Dt2 == 0 {
+		sp.Dt2 = 180
+	}
+	if sp.Nx <= 0 || sp.Ny <= 0 || sp.Nz <= 0 {
+		return fmt.Errorf("mesh extents must be positive, got %dx%dx%d", sp.Nx, sp.Ny, sp.Nz)
+	}
+	if sp.Nx*sp.Ny*sp.Nz > maxMeshCells {
+		return fmt.Errorf("mesh %dx%dx%d exceeds the service cap of %d cells", sp.Nx, sp.Ny, sp.Nz, maxMeshCells)
+	}
+	if sp.M < 1 || sp.M > 10 {
+		return fmt.Errorf("m = %d outside [1, 10]", sp.M)
+	}
+	if sp.Steps < 1 || sp.Steps > maxSteps {
+		return fmt.Errorf("steps = %d outside [1, %d]", sp.Steps, maxSteps)
+	}
+	if sp.CheckpointEvery < 0 {
+		return fmt.Errorf("checkpoint_every = %d must be >= 0", sp.CheckpointEvery)
+	}
+	if sp.DeadlineSec < 0 {
+		return fmt.Errorf("deadline_sec = %g must be >= 0", sp.DeadlineSec)
+	}
+	if sp.Kind == "figures" {
+		if len(sp.Ps) == 0 {
+			sp.Ps = []int{4, 8}
+		}
+		for _, p := range sp.Ps {
+			if p < 1 || p > maxRanks {
+				return fmt.Errorf("ps entry %d outside [1, %d]", p, maxRanks)
+			}
+		}
+		return nil
+	}
+	// Run jobs: algorithm and process grid.
+	if sp.Alg == "" {
+		sp.Alg = "ca"
+	}
+	if sp.PA == 0 {
+		sp.PA = 2
+	}
+	if sp.PB == 0 {
+		sp.PB = 2
+	}
+	if sp.PA < 1 || sp.PB < 1 {
+		return fmt.Errorf("process grid %dx%d must be positive", sp.PA, sp.PB)
+	}
+	ranks := sp.PA * sp.PB
+	switch sp.Alg {
+	case "ca", "yz":
+		if sp.PC != 0 {
+			return fmt.Errorf("pc is only meaningful for -alg 3d")
+		}
+		if sp.PA > sp.Ny/2 || sp.PB > sp.Nz/2 {
+			return fmt.Errorf("process grid %dx%d infeasible for mesh %dx%dx%d (need p_y <= ny/2, p_z <= nz/2)",
+				sp.PA, sp.PB, sp.Nx, sp.Ny, sp.Nz)
+		}
+	case "xy":
+		if sp.PC != 0 {
+			return fmt.Errorf("pc is only meaningful for -alg 3d")
+		}
+		if sp.PA > sp.Nx/2 || sp.PB > sp.Ny/2 {
+			return fmt.Errorf("process grid %dx%d infeasible for mesh %dx%dx%d (need p_x <= nx/2, p_y <= ny/2)",
+				sp.PA, sp.PB, sp.Nx, sp.Ny, sp.Nz)
+		}
+	case "3d":
+		if sp.PC == 0 {
+			sp.PC = 1
+		}
+		if sp.PC < 1 {
+			return fmt.Errorf("pc = %d must be positive", sp.PC)
+		}
+		ranks *= sp.PC
+		if sp.PA > sp.Nx/2 || sp.PB > sp.Ny/2 || sp.PC > sp.Nz/2 {
+			return fmt.Errorf("process grid %dx%dx%d infeasible for mesh %dx%dx%d",
+				sp.PA, sp.PB, sp.PC, sp.Nx, sp.Ny, sp.Nz)
+		}
+	default:
+		return fmt.Errorf("unknown alg %q (want ca, yz, xy or 3d)", sp.Alg)
+	}
+	if ranks > maxRanks {
+		return fmt.Errorf("%d ranks exceeds the service cap of %d", ranks, maxRanks)
+	}
+	return nil
+}
+
+// setup translates a normalized run spec into a dycore Setup.
+func (sp JobSpec) setup() dycore.Setup {
+	cfg := dycore.DefaultConfig()
+	cfg.M = sp.M
+	cfg.Dt1, cfg.Dt2 = sp.Dt1, sp.Dt2
+	var a dycore.Algorithm
+	switch sp.Alg {
+	case "ca":
+		a = dycore.AlgCommAvoid
+	case "yz":
+		a = dycore.AlgBaselineYZ
+	case "xy":
+		a = dycore.AlgBaselineXY
+	case "3d":
+		a = dycore.AlgBaseline3D
+	}
+	return dycore.Setup{Alg: a, PA: sp.PA, PB: sp.PB, PC: sp.PC, Cfg: cfg}
+}
+
+func (sp JobSpec) heldSuarez() bool { return sp.HeldSuarez == nil || *sp.HeldSuarez }
+
+// JState is a job's lifecycle state.
+type JState string
+
+const (
+	// JQueued: admitted and waiting for a worker.
+	JQueued JState = "queued"
+	// JRunning: executing on a worker.
+	JRunning JState = "running"
+	// JCompleted: ran all requested steps.
+	JCompleted JState = "completed"
+	// JCancelled: stopped at a step boundary by user request (resumable).
+	JCancelled JState = "cancelled"
+	// JInterrupted: stopped at a step boundary by a server drain
+	// (resumable).
+	JInterrupted JState = "interrupted"
+	// JFailed: panicked, exceeded its deadline or was otherwise aborted;
+	// resumable when a checkpoint exists.
+	JFailed JState = "failed"
+)
+
+// terminal reports whether no worker currently owns or will own the job.
+func (st JState) terminal() bool {
+	switch st {
+	case JCompleted, JCancelled, JInterrupted, JFailed:
+		return true
+	}
+	return false
+}
+
+// Job is one tracked job. All mutable fields are guarded by mu; the
+// identity fields (ID, Spec) are immutable after creation.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu        sync.Mutex
+	state     JState
+	stepsDone int // cumulative completed steps over all segments
+	ckptStep  int // boundary of the latest snapshot (0 = none)
+	snap      *checkpoint.Global
+	resumable bool
+	errMsg    string
+
+	cancel          context.CancelFunc // set while running
+	cancelRequested bool
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	attempts  int
+
+	agg     comm.Aggregate
+	count   dycore.Counters
+	diags   map[string]float64
+	figures []string // formatted figure tables (figures jobs)
+}
+
+// JobStatus is the JSON view of a job returned by GET /jobs/{id}.
+type JobStatus struct {
+	ID        string  `json:"id"`
+	Kind      string  `json:"kind"`
+	State     JState  `json:"state"`
+	StepsDone int     `json:"steps_done"`
+	StepsWant int     `json:"steps_total"`
+	Progress  float64 `json:"progress"`
+	Resumable bool    `json:"resumable"`
+	CkptStep  int     `json:"checkpoint_step,omitempty"`
+	Attempts  int     `json:"attempts"`
+	Error     string  `json:"error,omitempty"`
+
+	SubmittedAt string  `json:"submitted_at"`
+	StartedAt   string  `json:"started_at,omitempty"`
+	FinishedAt  string  `json:"finished_at,omitempty"`
+	WallSec     float64 `json:"wall_sec,omitempty"`
+
+	Comm        *CommStats         `json:"comm,omitempty"`
+	Counters    *dycore.Counters   `json:"counters,omitempty"`
+	Diagnostics map[string]float64 `json:"diagnostics,omitempty"`
+	Figures     []string           `json:"figures,omitempty"`
+
+	Spec JobSpec `json:"spec"`
+}
+
+// CommStats is the JSON view of the aggregated communication statistics.
+type CommStats struct {
+	MsgsSent       int64   `json:"msgs_sent"`
+	BytesSent      int64   `json:"bytes_sent"`
+	Collectives    int64   `json:"collectives"`
+	SimTimeS       float64 `json:"sim_time_s"`
+	CompTimeS      float64 `json:"comp_time_s"`
+	StencilTimeS   float64 `json:"stencil_time_s"`
+	CollectiveTime float64 `json:"collective_time_s"`
+}
+
+// Status snapshots the job under its lock.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		Kind:        j.Spec.Kind,
+		State:       j.state,
+		StepsDone:   j.stepsDone,
+		StepsWant:   j.Spec.Steps,
+		Resumable:   j.resumable,
+		CkptStep:    j.ckptStep,
+		Attempts:    j.attempts,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+		Spec:        j.Spec,
+	}
+	if j.Spec.Steps > 0 {
+		st.Progress = float64(j.stepsDone) / float64(j.Spec.Steps)
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+		st.WallSec = j.finished.Sub(j.started).Seconds()
+	}
+	if j.agg.Ranks > 0 {
+		st.Comm = &CommStats{
+			MsgsSent:       j.agg.MsgsSent,
+			BytesSent:      j.agg.BytesSent,
+			Collectives:    j.agg.Collectives,
+			SimTimeS:       j.agg.SimTime,
+			CompTimeS:      j.agg.CompTimeMax,
+			StencilTimeS:   j.agg.StencilTime(),
+			CollectiveTime: j.agg.CollectiveTime(),
+		}
+		c := j.count
+		st.Counters = &c
+	}
+	if len(j.diags) > 0 {
+		st.Diagnostics = make(map[string]float64, len(j.diags))
+		for k, v := range j.diags {
+			st.Diagnostics[k] = v
+		}
+	}
+	st.Figures = j.figures
+	return st
+}
+
+// setSnapshot records the latest checkpoint (called from the quiesced
+// Snapshot barrier callback).
+func (j *Job) setSnapshot(step int, gl *checkpoint.Global) {
+	j.mu.Lock()
+	j.ckptStep = step
+	j.snap = gl
+	j.mu.Unlock()
+}
+
+// latestSnapshot returns the newest checkpoint and its boundary.
+func (j *Job) latestSnapshot() (*checkpoint.Global, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snap, j.ckptStep
+}
+
+// mergeAgg accumulates a later execution segment into the job's cumulative
+// statistics: counters and times sum (segments run back to back), Ranks is
+// the segment's rank count.
+func mergeAgg(a, b comm.Aggregate) comm.Aggregate {
+	if a.Ranks == 0 {
+		return b
+	}
+	out := a
+	out.Ranks = b.Ranks
+	out.BytesSent += b.BytesSent
+	out.MsgsSent += b.MsgsSent
+	out.Collectives += b.Collectives
+	for i := range out.BytesByCat {
+		out.BytesByCat[i] += b.BytesByCat[i]
+		out.MsgsByCat[i] += b.MsgsByCat[i]
+		out.CommTimeMax[i] += b.CommTimeMax[i]
+	}
+	out.CompTimeMax += b.CompTimeMax
+	out.SimTime += b.SimTime
+	return out
+}
+
+func mergeCounters(a, b dycore.Counters) dycore.Counters {
+	return dycore.Counters{
+		Steps:          a.Steps + b.Steps,
+		HaloExchanges:  a.HaloExchanges + b.HaloExchanges,
+		CEvaluations:   a.CEvaluations + b.CEvaluations,
+		FilterCalls:    a.FilterCalls + b.FilterCalls,
+		SmoothingCalls: a.SmoothingCalls + b.SmoothingCalls,
+	}
+}
+
+// diagnostics computes the physical health summary of a finished run.
+func diagnostics(g *grid.Grid, finals []*state.State) map[string]float64 {
+	finite := 0.0
+	if diag.AllFinite(finals) {
+		finite = 1
+	}
+	return map[string]float64{
+		"all_finite":                finite,
+		"mean_surface_pressure_hpa": diag.MeanSurfacePressure(g, finals) / 100,
+		"global_dry_mass_kg":        diag.GlobalDryMass(g, finals),
+		"max_wind_ms":               diag.MaxWind(g, finals),
+		"kinetic_energy":            diag.KineticEnergy(g, finals),
+		"available_energy":          diag.AvailableEnergy(g, finals),
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the service counters exported at GET /metrics in the
+// Prometheus text exposition format (plain counters and gauges; no external
+// client library, matching the module's no-dependency rule).
+type metrics struct {
+	submitted   atomic.Int64
+	rejected    atomic.Int64
+	resumed     atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	cancelled   atomic.Int64
+	interrupted atomic.Int64
+	steps       atomic.Int64
+	snapshots   atomic.Int64
+	busy        atomic.Int64
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	states := map[JState]int{}
+	for _, j := range s.List() {
+		j.mu.Lock()
+		states[j.state]++
+		j.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+
+	p("# HELP cady_queue_depth Jobs waiting in the admission queue.")
+	p("# TYPE cady_queue_depth gauge")
+	p("cady_queue_depth %d", len(s.queue))
+	p("# HELP cady_queue_capacity Admission queue bound.")
+	p("# TYPE cady_queue_capacity gauge")
+	p("cady_queue_capacity %d", cap(s.queue))
+	p("# HELP cady_workers Size of the worker pool.")
+	p("# TYPE cady_workers gauge")
+	p("cady_workers %d", s.cfg.Workers)
+	p("# HELP cady_workers_busy Workers currently executing a job.")
+	p("# TYPE cady_workers_busy gauge")
+	p("cady_workers_busy %d", s.met.busy.Load())
+
+	p("# HELP cady_jobs Current jobs by state.")
+	p("# TYPE cady_jobs gauge")
+	for _, st := range []JState{JQueued, JRunning, JCompleted, JCancelled, JInterrupted, JFailed} {
+		p("cady_jobs{state=%q} %d", string(st), states[st])
+	}
+
+	p("# HELP cady_jobs_submitted_total Jobs admitted since start.")
+	p("# TYPE cady_jobs_submitted_total counter")
+	p("cady_jobs_submitted_total %d", s.met.submitted.Load())
+	p("# HELP cady_jobs_rejected_total Submissions rejected by admission control.")
+	p("# TYPE cady_jobs_rejected_total counter")
+	p("cady_jobs_rejected_total %d", s.met.rejected.Load())
+	p("# HELP cady_jobs_resumed_total Resume requests re-enqueued.")
+	p("# TYPE cady_jobs_resumed_total counter")
+	p("cady_jobs_resumed_total %d", s.met.resumed.Load())
+	p("# HELP cady_jobs_completed_total Jobs that ran all requested steps.")
+	p("# TYPE cady_jobs_completed_total counter")
+	p("cady_jobs_completed_total %d", s.met.completed.Load())
+	p("# HELP cady_jobs_failed_total Jobs that panicked or exceeded a deadline.")
+	p("# TYPE cady_jobs_failed_total counter")
+	p("cady_jobs_failed_total %d", s.met.failed.Load())
+	p("# HELP cady_jobs_cancelled_total Jobs stopped by user request.")
+	p("# TYPE cady_jobs_cancelled_total counter")
+	p("cady_jobs_cancelled_total %d", s.met.cancelled.Load())
+	p("# HELP cady_jobs_interrupted_total Jobs stopped by a server drain.")
+	p("# TYPE cady_jobs_interrupted_total counter")
+	p("cady_jobs_interrupted_total %d", s.met.interrupted.Load())
+
+	p("# HELP cady_steps_total Dynamical-core steps completed across all jobs.")
+	p("# TYPE cady_steps_total counter")
+	p("cady_steps_total %d", s.met.steps.Load())
+	p("# HELP cady_checkpoints_total Snapshots taken across all jobs.")
+	p("# TYPE cady_checkpoints_total counter")
+	p("cady_checkpoints_total %d", s.met.snapshots.Load())
+	p("# HELP cady_uptime_seconds Seconds since the service started.")
+	p("# TYPE cady_uptime_seconds gauge")
+	p("cady_uptime_seconds %.3f", time.Since(s.start).Seconds())
+}

@@ -1,0 +1,626 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cadycore/internal/checkpoint"
+	"cadycore/internal/comm"
+	"cadycore/internal/dycore"
+	"cadycore/internal/grid"
+	"cadycore/internal/harness"
+	"cadycore/internal/heldsuarez"
+	"cadycore/internal/state"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 2). Each
+	// running job itself spawns one goroutine per simulated rank.
+	Workers int
+	// QueueCap bounds the admission queue (default 16); submits beyond it
+	// are rejected with 429 + Retry-After.
+	QueueCap int
+	// Dir, when non-empty, persists job specs, progress metadata and
+	// checkpoints under Dir/<job-id>/ so jobs survive a process restart
+	// (see New, which recovers them).
+	Dir string
+	// Model is the simulated network cost model (default comm.TianheLike).
+	Model comm.NetModel
+}
+
+// Submission errors mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull: the bounded queue rejected the job (HTTP 429).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining: the server is shutting down (HTTP 503).
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Server is the job service. Create with New, expose via ServeHTTP (it is
+// an http.Handler), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	model comm.NetModel
+	mux   *http.ServeMux
+	met   metrics
+	start time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order for listing
+	seq    int
+	queue  chan *Job
+	closed bool
+
+	wg sync.WaitGroup
+
+	// testHold, when non-nil, makes every worker receive once from it
+	// before starting a job — lets tests fill the queue deterministically.
+	testHold chan struct{}
+	// testStep, when non-nil, is called at every step boundary of every
+	// run job — lets tests cancel or drain at an exact boundary. Set it
+	// before the first Submit (the queue send orders it for workers).
+	testStep func(j *Job, done int)
+}
+
+// New builds the service, recovers any persisted jobs from cfg.Dir and
+// starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	model := cfg.Model
+	if model.ComputeRate == 0 {
+		model = comm.TianheLike()
+	}
+	s := &Server{
+		cfg:   cfg,
+		model: model,
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.QueueCap),
+		start: time.Now(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.routes()
+	if cfg.Dir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Submit validates, registers and enqueues a job. The queue is the
+// admission control: a full queue rejects the submission outright
+// (ErrQueueFull) rather than keeping an unbounded backlog.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if s.baseCtx.Err() != nil {
+		return nil, ErrDraining
+	}
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("j-%06d", s.seq),
+		Spec:      spec,
+		state:     JQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.mu.Unlock()
+	s.met.submitted.Add(1)
+	s.persistSpec(j)
+	s.persistMeta(j)
+	return j, nil
+}
+
+// Get returns a job by ID.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns all jobs in submission order.
+func (s *Server) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests a job stop. A queued job is cancelled in place; a running
+// job is stopped cooperatively at its next step boundary (where it is
+// checkpointed). Terminal jobs return an error.
+func (s *Server) Cancel(id string) error {
+	j, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("server: no job %s", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JQueued:
+		j.state = JCancelled
+		j.resumable = true
+		j.finished = time.Now()
+		s.met.cancelled.Add(1)
+		s.persistMetaLocked(j)
+		return nil
+	case JRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil
+	default:
+		return fmt.Errorf("server: job %s is %s, not cancellable", id, j.state)
+	}
+}
+
+// Resume re-enqueues a stopped job. Execution restarts from the latest
+// checkpoint when one exists (baseline restarts are bitwise-exact; the
+// default comm-avoiding integrator reconverges its lagged Ĉ cache, see
+// DESIGN.md), from the initial condition otherwise.
+func (s *Server) Resume(id string) (*Job, error) {
+	j, ok := s.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("server: no job %s", id)
+	}
+	if s.baseCtx.Err() != nil {
+		return nil, ErrDraining
+	}
+	j.mu.Lock()
+	if !j.state.terminal() {
+		st := j.state
+		j.mu.Unlock()
+		return nil, fmt.Errorf("server: job %s is %s, not resumable", id, st)
+	}
+	if j.state == JCompleted {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("server: job %s already completed", id)
+	}
+	if j.Spec.Kind != "run" {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("server: %s jobs are not resumable", j.Spec.Kind)
+	}
+	prev := j.state
+	j.state = JQueued
+	j.errMsg = ""
+	j.cancelRequested = false
+	j.finished = time.Time{}
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		j.mu.Lock()
+		j.state = prev
+		j.mu.Unlock()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		j.mu.Lock()
+		j.state = prev
+		j.mu.Unlock()
+		s.met.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.met.resumed.Add(1)
+	s.persistMeta(j)
+	return j, nil
+}
+
+// Shutdown drains the service: no new submissions are accepted, running
+// jobs are stopped at their next step boundary and checkpointed (state
+// "interrupted", resumable), still-queued jobs stay "queued" with their
+// specs persisted. It returns when the workers have exited or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Persist the final metadata of everything still queued.
+	for _, j := range s.List() {
+		s.persistMeta(j)
+	}
+	return nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.baseCtx.Err() != nil }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if s.testHold != nil {
+			<-s.testHold
+		}
+		j.mu.Lock()
+		if j.state != JQueued {
+			// Cancelled while queued.
+			j.mu.Unlock()
+			continue
+		}
+		if s.baseCtx.Err() != nil {
+			// Draining: leave the job queued (its spec and metadata are
+			// persisted) for a later service instance to resume.
+			j.mu.Unlock()
+			continue
+		}
+		j.state = JRunning
+		j.started = time.Now()
+		j.attempts++
+		j.mu.Unlock()
+		s.met.busy.Add(1)
+		s.runJob(j)
+		s.met.busy.Add(-1)
+		s.persistMeta(j)
+	}
+}
+
+// runJob executes one job segment, translating run outcomes to job states.
+func (s *Server) runJob(j *Job) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.Spec.DeadlineSec > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(j.Spec.DeadlineSec*float64(time.Second)))
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	defer cancel()
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			j.mu.Lock()
+			j.state = JFailed
+			j.errMsg = fmt.Sprintf("panic: %v", r)
+			j.resumable = j.snap != nil
+			j.finished = time.Now()
+			j.cancel = nil
+			j.mu.Unlock()
+			s.met.failed.Add(1)
+		}
+	}()
+
+	if j.Spec.Kind == "figures" {
+		s.runFigures(j)
+		return
+	}
+
+	g := grid.New(j.Spec.Nx, j.Spec.Ny, j.Spec.Nz)
+	set := j.Spec.setup()
+
+	var hook dycore.StepHook
+	if j.Spec.heldSuarez() {
+		hs := heldsuarez.Standard()
+		dt2 := j.Spec.Dt2
+		hook = func(g *grid.Grid, st *state.State, step int) { hs.Apply(g, st, dt2) }
+	}
+
+	init := dycore.InitFunc(heldsuarez.InitialState)
+	snap, segBase := j.latestSnapshot()
+	if snap != nil {
+		init = snap.InitFunc()
+	} else {
+		segBase = 0
+	}
+	remaining := j.Spec.Steps - segBase
+	if remaining <= 0 {
+		j.mu.Lock()
+		j.state = JCompleted
+		j.finished = time.Now()
+		j.cancel = nil
+		j.mu.Unlock()
+		s.met.completed.Add(1)
+		return
+	}
+
+	opts := dycore.RunOpts{
+		Hook: hook,
+		Progress: func(done int) {
+			j.mu.Lock()
+			j.stepsDone = segBase + done
+			j.mu.Unlock()
+			s.met.steps.Add(1)
+			if s.testStep != nil {
+				s.testStep(j, segBase+done)
+			}
+		},
+		ShouldStop:    func() bool { return ctx.Err() != nil },
+		SnapshotEvery: j.Spec.CheckpointEvery,
+		Snapshot: func(done int, sts []*state.State) {
+			gl := checkpoint.Gather(g, sts)
+			j.setSnapshot(segBase+done, gl)
+			s.met.snapshots.Add(1)
+			s.persistSnap(j, gl)
+		},
+	}
+	res, _ := dycore.RunWithOpts(set, g, s.model, init, remaining, opts)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	j.stepsDone = segBase + res.StepsDone
+	j.agg = mergeAgg(j.agg, res.Agg)
+	j.count = mergeCounters(j.count, res.Count)
+	j.finished = time.Now()
+	if res.StepsDone < remaining {
+		// Stopped at a boundary; the stop-triggered Snapshot already
+		// recorded the checkpoint at exactly j.stepsDone.
+		j.resumable = true
+		switch {
+		case j.cancelRequested:
+			j.state = JCancelled
+			s.met.cancelled.Add(1)
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			j.state = JFailed
+			j.errMsg = "deadline exceeded"
+			s.met.failed.Add(1)
+		default:
+			j.state = JInterrupted
+			s.met.interrupted.Add(1)
+		}
+		return
+	}
+	// Ran to completion: record diagnostics and the final state as the
+	// job's last checkpoint.
+	j.state = JCompleted
+	j.resumable = false
+	j.diags = diagnostics(g, res.Finals)
+	final := checkpoint.Gather(g, res.Finals)
+	j.snap = final
+	j.ckptStep = j.stepsDone
+	s.met.completed.Add(1)
+	s.persistSnapLocked(j, final)
+}
+
+// runFigures executes a figures job: the harness sweep with the shared
+// memoized cache. Sweeps are not checkpointable; they run to completion.
+func (s *Server) runFigures(j *Job) {
+	o := harness.Defaults()
+	o.Nx, o.Ny, o.Nz = j.Spec.Nx, j.Spec.Ny, j.Spec.Nz
+	o.M = j.Spec.M
+	o.Steps = j.Spec.Steps
+	o.Dt1, o.Dt2 = j.Spec.Dt1, j.Spec.Dt2
+	o.Ps = harness.SortedPs(j.Spec.Ps)
+	o.Model = s.model
+	figs := harness.AllFigures(o)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	j.figures = make([]string, 0, len(figs))
+	for _, f := range figs {
+		j.figures = append(j.figures, f.Format())
+	}
+	j.stepsDone = j.Spec.Steps
+	j.state = JCompleted
+	j.finished = time.Now()
+	s.met.completed.Add(1)
+}
+
+// --- persistence -----------------------------------------------------------
+//
+// Layout under cfg.Dir: <id>/spec.json, <id>/meta.json, <id>/snap.ck.
+// Writes are temp-file + rename so a crash never leaves a torn file; the
+// checkpoint format's own CRC64 catches anything else.
+
+type jobMeta struct {
+	State     JState `json:"state"`
+	StepsDone int    `json:"steps_done"`
+	CkptStep  int    `json:"checkpoint_step"`
+	Resumable bool   `json:"resumable"`
+	Error     string `json:"error,omitempty"`
+	Attempts  int    `json:"attempts"`
+}
+
+func (s *Server) jobDir(j *Job) string { return filepath.Join(s.cfg.Dir, j.ID) }
+
+func (s *Server) persistSpec(j *Job) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	dir := s.jobDir(j)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	b, _ := json.MarshalIndent(j.Spec, "", "  ")
+	writeFileAtomic(filepath.Join(dir, "spec.json"), b)
+}
+
+func (s *Server) persistMeta(j *Job) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s.persistMetaLocked(j)
+}
+
+func (s *Server) persistMetaLocked(j *Job) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	m := jobMeta{
+		State:     j.state,
+		StepsDone: j.stepsDone,
+		CkptStep:  j.ckptStep,
+		Resumable: j.resumable,
+		Error:     j.errMsg,
+		Attempts:  j.attempts,
+	}
+	b, _ := json.MarshalIndent(m, "", "  ")
+	writeFileAtomic(filepath.Join(s.jobDir(j), "meta.json"), b)
+}
+
+func (s *Server) persistSnap(j *Job, gl *checkpoint.Global) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	path := filepath.Join(s.jobDir(j), "snap.ck")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	if err := gl.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	os.Rename(tmp, path)
+	s.persistMeta(j)
+}
+
+func (s *Server) persistSnapLocked(j *Job, gl *checkpoint.Global) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	path := filepath.Join(s.jobDir(j), "snap.ck")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	if err := gl.Write(f); err == nil && f.Close() == nil {
+		os.Rename(tmp, path)
+	} else {
+		f.Close()
+		os.Remove(tmp)
+	}
+	s.persistMetaLocked(j)
+}
+
+func writeFileAtomic(path string, b []byte) {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, path)
+}
+
+// recover re-registers persisted jobs from cfg.Dir. Jobs that were queued,
+// running or interrupted when the previous process died come back as
+// resumable "interrupted" jobs; completed and terminal jobs keep their
+// state. The latest checkpoint, when present and valid, is reloaded.
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return os.MkdirAll(s.cfg.Dir, 0o755)
+		}
+		return err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "j-") {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		dir := filepath.Join(s.cfg.Dir, id)
+		specB, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+		if err != nil {
+			continue
+		}
+		var spec JobSpec
+		if json.Unmarshal(specB, &spec) != nil || spec.Normalize() != nil {
+			continue
+		}
+		j := &Job{ID: id, Spec: spec, state: JQueued, submitted: time.Now()}
+		if metaB, err := os.ReadFile(filepath.Join(dir, "meta.json")); err == nil {
+			var m jobMeta
+			if json.Unmarshal(metaB, &m) == nil {
+				j.state = m.State
+				j.stepsDone = m.StepsDone
+				j.ckptStep = m.CkptStep
+				j.resumable = m.Resumable
+				j.errMsg = m.Error
+				j.attempts = m.Attempts
+			}
+		}
+		if f, err := os.Open(filepath.Join(dir, "snap.ck")); err == nil {
+			if gl, err := checkpoint.Read(f); err == nil {
+				j.snap = gl
+			}
+			f.Close()
+		}
+		// A job that was mid-flight when the process died cannot still be
+		// running; surface it as interrupted and resumable.
+		if j.state == JQueued || j.state == JRunning {
+			j.state = JInterrupted
+			j.resumable = true
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "j-")); err == nil && n > s.seq {
+			s.seq = n
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+	return nil
+}
