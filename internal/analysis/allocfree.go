@@ -1,0 +1,470 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// AllocFree enforces //cadyvet:allocfree: annotated functions — and,
+// transitively, everything they statically call — must not allocate on the
+// heap. It flags, inside checked code:
+//
+//   - make, new, append
+//   - slice and map composite literals, and address-taken composite literals
+//   - function literals (closures) and go statements
+//   - string([]byte/[]rune) and []byte/[]rune(string) conversions,
+//     string concatenation
+//   - interface boxing: concrete values converted, assigned, passed or
+//     returned as interfaces; bound-method values
+//   - implicit []T allocation of non-ellipsis variadic calls
+//   - calls to functions that allocate (via per-function facts, so the check
+//     crosses package boundaries) and calls that cannot be resolved
+//     statically (interface dispatch, function values)
+//
+// Statement lists that provably end in panic are failure paths and are
+// exempt (the canonical `if bad { panic(fmt.Sprintf(…)) }` guard), as are
+// panic arguments themselves. Bodyless declarations (assembly intrinsics)
+// are assumed clean. //cadyvet:allow waives one finding with justification;
+// //cadyvet:assumeclean waives a whole function.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "enforce //cadyvet:allocfree functions perform no heap allocation, transitively",
+}
+
+func init() { AllocFree.Run = runAllocFree }
+
+type afEvent struct {
+	pos  token.Pos
+	desc string
+}
+
+type afCall struct {
+	pos token.Pos
+	fn  *types.Func
+}
+
+type afFunc struct {
+	fd      funcDecl
+	assume  *directive
+	checked *directive // the //cadyvet:allocfree marker, if present
+	events  []afEvent
+	calls   []afCall
+	dynamic []afEvent // unresolvable calls
+}
+
+type afState struct {
+	p     *Pass
+	decls map[*types.Func]*afFunc
+	memo  map[*types.Func]FuncFact
+	stack map[*types.Func]bool
+}
+
+func runAllocFree(p *Pass) {
+	s := &afState{
+		p:     p,
+		decls: make(map[*types.Func]*afFunc),
+		memo:  make(map[*types.Func]FuncFact),
+		stack: make(map[*types.Func]bool),
+	}
+	fds := p.enclosingFuncs()
+	for i := range fds {
+		fd := fds[i]
+		af := s.collect(fd)
+		s.decls[fd.obj] = af
+	}
+	// Export a fact for every function of the package.
+	for _, fd := range fds {
+		fact := s.resolve(fd.obj)
+		existing := p.Facts.Current.Funcs[funcKey(fd.obj)]
+		existing.Alloc = fact.Alloc
+		existing.Reason = fact.Reason
+		p.Facts.Put(funcKey(fd.obj), existing)
+	}
+	// Enforce annotated functions.
+	for _, fd := range fds {
+		af := s.decls[fd.obj]
+		if af.checked == nil {
+			continue
+		}
+		af.checked.used = true
+		if af.assume != nil {
+			p.report(AllocFree.Name, fd.decl.Pos(), "",
+				"function %s is annotated both cadyvet:allocfree and cadyvet:assumeclean", fd.obj.Name())
+			continue
+		}
+		for _, ev := range af.events {
+			p.report(AllocFree.Name, ev.pos, dirAllow, "heap allocation in alloc-free function %s: %s", fd.obj.Name(), ev.desc)
+		}
+		for _, dyn := range af.dynamic {
+			p.report(AllocFree.Name, dyn.pos, dirAllow, "unverifiable call in alloc-free function %s: %s", fd.obj.Name(), dyn.desc)
+		}
+		for _, call := range af.calls {
+			fact := s.resolve(call.fn)
+			switch fact.Alloc {
+			case AllocHeap:
+				p.report(AllocFree.Name, call.pos, dirAllow, "call in alloc-free function %s to %s, which allocates: %s",
+					fd.obj.Name(), call.fn.Name(), fact.Reason)
+			case AllocUnknown:
+				p.report(AllocFree.Name, call.pos, dirAllow, "call in alloc-free function %s to %s, which cannot be proven alloc-free: %s",
+					fd.obj.Name(), call.fn.Name(), fact.Reason)
+			}
+		}
+	}
+}
+
+// resolve computes the allocation fact of fn, following static calls through
+// local declarations and imported facts. Cycles resolve optimistically (a
+// recursion with no allocation events is clean).
+func (s *afState) resolve(fn *types.Func) FuncFact {
+	fn = fn.Origin()
+	if f, ok := s.memo[fn]; ok {
+		return f
+	}
+	af, local := s.decls[fn]
+	if !local {
+		return s.external(fn)
+	}
+	if af.assume != nil {
+		af.assume.used = true
+		f := FuncFact{Alloc: AllocClean}
+		s.memo[fn] = f
+		return f
+	}
+	if af.fd.decl.Body == nil {
+		// Assembly or linkname-backed: assumed not to allocate.
+		f := FuncFact{Alloc: AllocClean}
+		s.memo[fn] = f
+		return f
+	}
+	if s.stack[fn] {
+		return FuncFact{Alloc: AllocClean} // cycle: optimistic, not memoized
+	}
+	s.stack[fn] = true
+	defer delete(s.stack, fn)
+
+	fact := FuncFact{Alloc: AllocClean}
+	if len(af.events) > 0 {
+		fact = FuncFact{Alloc: AllocHeap, Reason: fmt.Sprintf("%s at %s", af.events[0].desc, s.pos(af.events[0].pos))}
+	} else {
+		var unknown *FuncFact
+		for _, dyn := range af.dynamic {
+			u := FuncFact{Alloc: AllocUnknown, Reason: fmt.Sprintf("%s at %s", dyn.desc, s.pos(dyn.pos))}
+			unknown = &u
+			break
+		}
+		for _, call := range af.calls {
+			cf := s.resolve(call.fn)
+			if cf.Alloc == AllocHeap {
+				fact = FuncFact{Alloc: AllocHeap, Reason: chain(call.fn, "allocates", cf.Reason)}
+				break
+			}
+			if cf.Alloc == AllocUnknown && unknown == nil {
+				u := FuncFact{Alloc: AllocUnknown, Reason: chain(call.fn, "is unverifiable", cf.Reason)}
+				unknown = &u
+			}
+		}
+		if fact.Alloc == AllocClean && unknown != nil {
+			fact = *unknown
+		}
+	}
+	s.memo[fn] = fact
+	return fact
+}
+
+// external resolves a function outside the package under analysis from the
+// imported fact tables.
+func (s *afState) external(fn *types.Func) FuncFact {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return FuncFact{Alloc: AllocClean} // universe scope (error.Error reaches here only via dynamic paths)
+	}
+	if f, ok := s.p.Facts.Imported(pkg.Path(), funcKey(fn)); ok {
+		return f
+	}
+	return FuncFact{Alloc: AllocUnknown, Reason: fmt.Sprintf("no analysis facts for %s", funcKey(fn))}
+}
+
+// chain composes a transitive reason, bounded so deep call chains stay
+// readable.
+func chain(fn *types.Func, what, reason string) string {
+	if len(reason) > 160 {
+		reason = reason[:157] + "…"
+	}
+	return fmt.Sprintf("%s %s (%s)", fn.Name(), what, reason)
+}
+
+// pos renders a short source position (pkgdir/file:line).
+func (s *afState) pos(p token.Pos) string {
+	position := s.p.Fset.Position(p)
+	dir := filepath.Base(filepath.Dir(position.Filename))
+	return fmt.Sprintf("%s/%s:%d", dir, filepath.Base(position.Filename), position.Line)
+}
+
+// collect gathers the local allocation events, static calls and dynamic
+// calls of one function body, honoring //cadyvet:allow waivers and skipping
+// provable failure paths.
+func (s *afState) collect(fd funcDecl) *afFunc {
+	af := &afFunc{fd: fd}
+	af.assume = s.p.funcDirective(fd.decl, dirAssumeClean)
+	af.checked = s.p.funcDirective(fd.decl, dirAllocFree)
+	if fd.decl.Body == nil {
+		return af
+	}
+	info := s.p.Info
+	sig, _ := fd.obj.Type().(*types.Signature)
+
+	// Pre-pass: mark statements on failure paths (lists ending in panic).
+	cold := map[ast.Node]bool{}
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		}
+		if list != nil && terminatesInPanic(list) {
+			for _, st := range list {
+				cold[st] = true
+			}
+		}
+		return true
+	})
+
+	event := func(pos token.Pos, desc string) {
+		if d := s.p.ann.at(s.p.Fset.Position(pos), dirAllow); d != nil {
+			d.used = true
+			return
+		}
+		af.events = append(af.events, afEvent{pos, desc})
+	}
+	dynamic := func(pos token.Pos, desc string) {
+		if d := s.p.ann.at(s.p.Fset.Position(pos), dirAllow); d != nil {
+			d.used = true
+			return
+		}
+		af.dynamic = append(af.dynamic, afEvent{pos, desc})
+	}
+
+	callFuns := map[ast.Expr]bool{} // selector exprs used as call targets
+
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		if st, ok := n.(ast.Stmt); ok && cold[st] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			event(n.Pos(), "function literal (closure)")
+			return false // body is only reachable through a dynamic call
+
+		case *ast.GoStmt:
+			event(n.Pos(), "go statement (goroutine launch)")
+			return true
+
+		case *ast.CallExpr:
+			return s.call(af, n, callFuns, event, dynamic)
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					event(n.Pos(), "address-taken composite literal")
+				}
+			}
+
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				event(n.Pos(), "slice literal")
+			case *types.Map:
+				event(n.Pos(), "map literal")
+			}
+
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !callFuns[n] {
+				event(n.Pos(), "bound-method value (closure)")
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) {
+				event(n.Pos(), "string concatenation")
+			}
+
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && isString(info.TypeOf(n.Lhs[0])) {
+				event(n.Pos(), "string concatenation")
+			}
+			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					s.boxing(n.Rhs[i], info.TypeOf(n.Lhs[i]), event)
+				}
+			}
+
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				t := info.TypeOf(n.Type)
+				for _, v := range n.Values {
+					s.boxing(v, t, event)
+				}
+			}
+
+		case *ast.ReturnStmt:
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, r := range n.Results {
+					s.boxing(r, sig.Results().At(i).Type(), event)
+				}
+			}
+
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Signature); ok {
+				dynamic(n.Pos(), "range over function value")
+			}
+		}
+		return true
+	})
+	return af
+}
+
+// call classifies one call expression. Returns whether to descend into the
+// call's children.
+func (s *afState) call(af *afFunc, call *ast.CallExpr,
+	callFuns map[ast.Expr]bool, event, dynamic func(token.Pos, string)) bool {
+	info := s.p.Info
+	fun := ast.Unparen(call.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		callFuns[sel] = true
+	}
+
+	// Conversion T(x)?
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		switch {
+		case isString(dst) && isByteOrRuneSlice(src):
+			event(call.Pos(), "[]byte/[]rune→string conversion")
+		case isByteOrRuneSlice(dst) && isString(src):
+			event(call.Pos(), "string→[]byte/[]rune conversion")
+		case isInterface(dst) && src != nil && !isInterface(src) && !isUntypedNil(src):
+			event(call.Pos(), "conversion boxes value into interface")
+		}
+		return true
+	}
+
+	// Builtin?
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				event(call.Pos(), "make")
+			case "new":
+				event(call.Pos(), "new")
+			case "append":
+				event(call.Pos(), "append may grow its backing array")
+			case "panic":
+				return false // failure path: the panic argument never runs in steady state
+			}
+			return true
+		}
+	}
+
+	// Arguments boxed into interface parameters.
+	if sig, ok := info.TypeOf(fun).(*types.Signature); ok && sig != nil {
+		s.boxedArgs(sig, call, event)
+	}
+
+	if fn := staticCallee(info, call); fn != nil {
+		// An //cadyvet:allow on the call line waives the callee's status for
+		// this caller — including in the caller's own exported fact (the
+		// justification vouches for the call site, so the waiver must not
+		// re-surface one level up the chain).
+		if d := s.p.ann.at(s.p.Fset.Position(call.Pos()), dirAllow); d != nil {
+			d.used = true
+			return true
+		}
+		af.calls = append(af.calls, afCall{call.Pos(), fn})
+		return true
+	}
+
+	// Dynamic: interface dispatch or a function value.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s2, ok := info.Selections[sel]; ok && s2.Kind() == types.MethodVal && isInterface(s2.Recv()) {
+			dynamic(call.Pos(), fmt.Sprintf("interface method call %s", sel.Sel.Name))
+			return true
+		}
+	}
+	dynamic(call.Pos(), "call through function value")
+	return true
+}
+
+// boxedArgs flags concrete arguments passed to interface parameters.
+func (s *afState) boxedArgs(sig *types.Signature, call *ast.CallExpr, event func(token.Pos, string)) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the slice through
+			}
+			sl, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		s.boxing(arg, pt, event)
+	}
+	// A non-ellipsis call of a variadic function materializes a []T.
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+		event(call.Pos(), "implicit slice for variadic call")
+	}
+}
+
+// boxing flags expr if assigning it to target type boxes a concrete value
+// into an interface.
+func (s *afState) boxing(expr ast.Expr, target types.Type, event func(token.Pos, string)) {
+	if target == nil || !isInterface(target) {
+		return
+	}
+	src := s.p.Info.TypeOf(expr)
+	if src == nil || isInterface(src) || isUntypedNil(src) {
+		return
+	}
+	event(expr.Pos(), "value boxes into interface")
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32
+}

@@ -1,0 +1,73 @@
+package analysis
+
+// End-to-end test of the vet-tool protocol: build cmd/cadyvet and run it
+// over the whole module exactly as CI does (`go vet -vettool=…`). A clean
+// run means every //cadyvet annotation on the tree is in force, every
+// waiver justified, and the unitchecker plumbing (vet.cfg parsing, export
+// data import, fact files) works against the real toolchain.
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+func TestVettoolModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the whole module; skipped with -short")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "cadyvet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/cadyvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cadyvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	var buf bytes.Buffer
+	vet.Stdout, vet.Stderr = &buf, &buf
+	if err := vet.Run(); err != nil {
+		t.Fatalf("go vet -vettool=cadyvet ./... reported findings: %v\n%s", err, buf.Bytes())
+	}
+}
+
+// TestVettoolVersionHandshake checks the -V=full answer cmd/go uses to key
+// its action cache: it must name the tool and carry a content-derived
+// buildID so rebuilding the tool invalidates cached vet results.
+func TestVettoolVersionHandshake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool; skipped with -short")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "cadyvet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/cadyvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cadyvet: %v\n%s", err, out)
+	}
+	out, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("cadyvet -V=full: %v", err)
+	}
+	got := strings.TrimSpace(string(out))
+	if !strings.HasPrefix(got, "cadyvet version ") || !strings.Contains(got, "buildID=") {
+		t.Fatalf("cadyvet -V=full = %q, want \"cadyvet version … buildID=…\"", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Fixture for the allocfree analyzer: each annotated function demonstrates
+// one class of heap allocation the checker must flag, plus the suppression
+// and cold-path exemptions it must honor.
+package allocfree
+
+type vec struct{ x, y float64 }
+
+func (v *vec) norm() float64 { return v.x*v.x + v.y*v.y }
+
+type summer interface{ Sum() float64 }
+
+//cadyvet:allocfree
+func useMake(n int) []float64 {
+	x := make([]float64, n) // want "heap allocation in alloc-free function useMake: make"
+	return x
+}
+
+//cadyvet:allocfree
+func useAppend(xs []float64) []float64 {
+	return append(xs, 1) // want "append may grow its backing array"
+}
+
+//cadyvet:allocfree
+func useNew() *vec {
+	return new(vec) // want "heap allocation in alloc-free function useNew: new"
+}
+
+//cadyvet:allocfree
+func sliceLit() []float64 {
+	return []float64{1, 2} // want "slice literal"
+}
+
+//cadyvet:allocfree
+func mapLit() map[int]int {
+	return map[int]int{} // want "map literal"
+}
+
+//cadyvet:allocfree
+func addrLit() *vec {
+	return &vec{1, 2} // want "address-taken composite literal"
+}
+
+//cadyvet:allocfree
+func closure() func() {
+	return func() {} // want "function literal"
+}
+
+//cadyvet:allocfree
+func launches() {
+	go helperClean() // want "go statement"
+}
+
+func helperClean() {}
+
+//cadyvet:allocfree
+func concat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//cadyvet:allocfree
+func convertToString(b []byte) string {
+	return string(b) // want "string conversion"
+}
+
+//cadyvet:allocfree
+func convertToBytes(s string) []byte {
+	return []byte(s) // want "conversion"
+}
+
+//cadyvet:allocfree
+func boxes(v vec) interface{} {
+	return v // want "boxes into interface"
+}
+
+//cadyvet:allocfree
+func boundMethod(v *vec) func() float64 {
+	return v.norm // want "bound-method value"
+}
+
+//cadyvet:allocfree
+func dynamicCall(f func()) {
+	f() // want "call through function value"
+}
+
+//cadyvet:allocfree
+func ifaceCall(s summer) float64 {
+	return s.Sum() // want "interface method call Sum"
+}
+
+func variadicClean(xs ...float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+//cadyvet:allocfree
+func callsVariadic() float64 {
+	return variadicClean(1, 2, 3) // want "implicit slice for variadic call"
+}
+
+func sink(vs ...interface{}) {}
+
+//cadyvet:allocfree
+func boxesVariadic(v vec) {
+	sink(v) // want "boxes into interface" "implicit slice for variadic call"
+}
+
+// Transitive enforcement within the package.
+
+func localAlloc(n int) []float64 { return make([]float64, n) }
+
+//cadyvet:allocfree
+func callsLocalAlloc(n int) []float64 {
+	return localAlloc(n) // want "call in alloc-free function callsLocalAlloc to localAlloc, which allocates"
+}
+
+// Cold paths: a statement list that provably ends in panic is a failure path
+// and is exempt.
+
+//cadyvet:allocfree
+func coldPath(n int) {
+	if n < 0 {
+		v := &vec{1, 2} // exempt: the enclosing list terminates in panic
+		panic(v)
+	}
+}
+
+// Suppressions.
+
+//cadyvet:allocfree
+func lazyInit(buf *[]float64, n int) {
+	if cap(*buf) < n {
+		//cadyvet:allow one-time growth; steady state reuses the buffer
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+}
+
+//cadyvet:assumeclean stands in for a tracing hook that allocates only when tracing is enabled
+func traceRecord() {
+	_ = map[int]int{}
+}
+
+//cadyvet:allocfree
+func callsAssumed() {
+	traceRecord() // ok: callee is axiomatically clean
+}
+
+// Contradictory annotations are themselves a finding.
+
+//cadyvet:allocfree
+//cadyvet:assumeclean cannot both enforce and assume
+func contradictory() {} // want "annotated both cadyvet:allocfree and cadyvet:assumeclean"

@@ -1,0 +1,26 @@
+// Fixture for cross-package fact propagation: the allocation status of
+// kernels.* functions arrives via imported facts, not source inspection.
+package allocfreex
+
+import "kernels"
+
+//cadyvet:allocfree
+func CallsClean(a, b []float64) {
+	kernels.Clean(a, b) // ok: imported fact says clean
+}
+
+//cadyvet:allocfree
+func CallsAlloc(n int) []float64 {
+	return kernels.Alloc(n) // want "call in alloc-free function CallsAlloc to Alloc, which allocates"
+}
+
+//cadyvet:allocfree
+func CallsTransitive(n int) []float64 {
+	return kernels.CallsAlloc(n) // want "which allocates"
+}
+
+//cadyvet:allocfree
+func Waived(n int) []float64 {
+	//cadyvet:allow setup path, runs once before the time loop
+	return kernels.Alloc(n)
+}

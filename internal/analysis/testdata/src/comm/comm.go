@@ -1,0 +1,29 @@
+// Package comm is a fixture stand-in for the module's communicator: cadyvet
+// matches collective APIs by package name and type name, so this minimal
+// replica exercises the analyzers without importing the real library (fixture
+// packages are typechecked from source, with no stdlib export data).
+package comm
+
+// Op mirrors the reduction operator signature.
+type Op func(dst, src []float64)
+
+// Comm is the fixture communicator.
+type Comm struct {
+	rank, size int
+}
+
+func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Size() int { return c.size }
+
+// Collectives: bodies are empty on purpose — the fixtures test call *sites*.
+func (c *Comm) Barrier()                                 {}
+func (c *Comm) Bcast(buf []float64, root int)            {}
+func (c *Comm) Allreduce(dst, src []float64, op Op)      {}
+func (c *Comm) Reduce(dst, src []float64, root int)      {}
+func (c *Comm) Allgather(dst, src []float64)             {}
+func (c *Comm) AllreduceScalar(v float64, op Op) float64 { return v }
+
+// Point-to-point: rank-addressed by design, not collectives.
+func (c *Comm) Send(dst, tag int, data []float64)    {}
+func (c *Comm) Recv(src, tag int) []float64          { return nil }
+func (c *Comm) RecvInto(src, tag int, buf []float64) {}

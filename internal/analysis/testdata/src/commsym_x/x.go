@@ -1,0 +1,18 @@
+// Fixture for cross-package collective facts: halo.Sync is collective-bearing
+// only according to its imported fact.
+package commsymx
+
+import (
+	"comm"
+	"halo"
+)
+
+func gated(c *comm.Comm) {
+	if c.Rank() == 0 {
+		halo.Sync(c) // want "collective-bearing call to Sync is control-dependent"
+	}
+}
+
+func uniform(c *comm.Comm) {
+	halo.Sync(c) // ok: unconditional
+}

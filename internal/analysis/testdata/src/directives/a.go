@@ -1,0 +1,18 @@
+// Fixture for directive hygiene: unknown directive words and waivers without
+// a written justification are themselves findings.
+package directives
+
+func bad(n int) int {
+	//cadyvet:frobnicate typo of a real directive
+	// want-above "unknown cadyvet directive"
+	return n + 1
+}
+
+func lazy(buf *[]float64, n int) {
+	//cadyvet:allow
+	// want-above "requires a written justification"
+	*buf = make([]float64, n)
+}
+
+//cadyvet:assumeclean a justified axiom produces no finding
+func axiom() {}

@@ -1,0 +1,8 @@
+// Package halo wraps a collective behind a helper, for the transitive
+// collective-bearing-call tests.
+package halo
+
+import "comm"
+
+// Sync runs a full barrier; callers inherit its collective nature via facts.
+func Sync(c *comm.Comm) { c.Barrier() }

@@ -1,0 +1,20 @@
+// Package kernels provides functions with known allocation behavior for the
+// cross-package fact-propagation tests.
+package kernels
+
+// Clean is provably alloc-free.
+func Clean(a, b []float64) {
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Alloc allocates directly.
+func Alloc(n int) []float64 {
+	return make([]float64, n)
+}
+
+// CallsAlloc allocates transitively (through Alloc).
+func CallsAlloc(n int) []float64 {
+	return Alloc(n)
+}

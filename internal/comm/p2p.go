@@ -76,11 +76,16 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 // Isend is Send with an explicit request handle; with buffered semantics the
 // request is already complete, so Wait on it is a no-op. It exists so the
 // overlapped halo-exchange code reads like its MPI original.
+//
+//cadyvet:assumeclean simulated MPI transport: the request handle models MPI's internal bookkeeping, outside the per-rank zero-alloc kernel budget
 func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 	c.sendInternal(dst, tag, data)
 	return &Request{done: true}
 }
 
+// sendInternal implements the buffered send.
+//
+//cadyvet:assumeclean simulated MPI transport: the payload copy models MPI's internal buffering, outside the per-rank zero-alloc kernel budget
 func (c *Comm) sendInternal(dst, tag int, data []float64) {
 	if dst == c.rank {
 		panic(fmt.Sprintf("comm: rank %d sending to itself (use local copies)", c.rank))
@@ -104,6 +109,8 @@ func (c *Comm) sendInternal(dst, tag int, data []float64) {
 // arrives, and returns its payload. The simulated clock stalls to the
 // message's availability time if the rank got here early (that stall is the
 // modeled communication wait).
+//
+//cadyvet:assumeclean simulated MPI transport: message drain touches the endpoint queues, which model MPI-internal buffering
 func (c *Comm) Recv(src, tag int) []float64 {
 	m := c.world.eps[c.myWorldRank()].take(c.id, src, tag)
 	c.absorb(m)
@@ -112,6 +119,8 @@ func (c *Comm) Recv(src, tag int) []float64 {
 
 // RecvInto is Recv that copies the payload into buf (which must be exactly
 // the message length) and returns the number of values received.
+//
+//cadyvet:assumeclean simulated MPI transport: message drain touches the endpoint queues, which model MPI-internal buffering
 func (c *Comm) RecvInto(src, tag int, buf []float64) int {
 	m := c.world.eps[c.myWorldRank()].take(c.id, src, tag)
 	c.absorb(m)
@@ -145,6 +154,8 @@ type Request struct {
 // Irecv posts a nonblocking receive of a message from src with the given
 // tag into buf; completion happens in Wait. (Matching is deferred to Wait,
 // which is observationally equivalent for FIFO-per-pair matching.)
+//
+//cadyvet:assumeclean simulated MPI transport: the request handle models MPI's internal bookkeeping, outside the per-rank zero-alloc kernel budget
 func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 	return &Request{c: c, src: src, tag: tag, buf: buf}
 }

@@ -117,6 +117,8 @@ func (b *Baseline) advectUpdate(dst, base, src *state.State) {
 }
 
 // Step advances one time step of Algorithm 1.
+//
+//cadyvet:allocfree
 func (b *Baseline) Step() {
 	owned := b.tp.Block.Owned()
 

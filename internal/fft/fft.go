@@ -20,14 +20,14 @@ type Plan struct {
 
 	// radix-2 path (n power of two)
 	pow2    bool
-	rev     []int          // bit-reversal permutation
-	twiddle []complex128   // stage twiddles, concatenated
+	rev     []int        // bit-reversal permutation
+	twiddle []complex128 // stage twiddles, concatenated
 
 	// Bluestein path (any n)
-	chirp   []complex128 // w_k = exp(-iπk²/n)
-	bconv   []complex128 // FFT of the chirp convolution kernel (length m)
-	bplan   *Plan        // radix-2 plan of length m ≥ 2n−1
-	m       int
+	chirp []complex128 // w_k = exp(-iπk²/n)
+	bconv []complex128 // FFT of the chirp convolution kernel (length m)
+	bplan *Plan        // radix-2 plan of length m ≥ 2n−1
+	m     int
 }
 
 // NewPlan prepares a transform of length n ≥ 1.
@@ -126,6 +126,8 @@ func (p *Plan) ScratchLen() int {
 // ScratchLen() values (nil allocates). With caller scratch the transform
 // performs no heap allocation, and one Plan can serve many goroutines as
 // long as each brings its own scratch.
+//
+//cadyvet:allocfree
 func (p *Plan) ForwardScratch(x, scratch []complex128) {
 	p.checkLen(x)
 	if p.pow2 {
@@ -133,6 +135,7 @@ func (p *Plan) ForwardScratch(x, scratch []complex128) {
 		return
 	}
 	if scratch == nil {
+		//cadyvet:allow nil-scratch convenience path for tests and one-off calls; hot callers pass ScratchLen scratch
 		scratch = make([]complex128, p.m)
 	} else if len(scratch) < p.m {
 		panic(fmt.Sprintf("fft: scratch length %d < required %d", len(scratch), p.m))
@@ -148,6 +151,8 @@ func (p *Plan) Inverse(x []complex128) {
 
 // InverseScratch is Inverse with caller-provided work space (see
 // ForwardScratch).
+//
+//cadyvet:allocfree
 func (p *Plan) InverseScratch(x, scratch []complex128) {
 	p.checkLen(x)
 	n := p.n

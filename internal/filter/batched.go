@@ -6,6 +6,58 @@ import (
 	"cadycore/internal/topo"
 )
 
+// batchRow identifies one filtered row across the batched fields: fi indexes
+// f3s, or len(f3s)+index into f2s (with k == 0).
+type batchRow struct {
+	fi   int
+	j, k int
+}
+
+// batchScratch holds the reusable buffers of ApplyDistBatch. They grow
+// lazily to the steady per-step sizes on the first distributed call and are
+// reused afterwards, so the transpose round-trip performs no steady-state
+// heap allocation.
+type batchScratch struct {
+	rows []batchRow
+	send [][]float64
+	recv [][]float64
+	full [][]float64
+}
+
+// growSlots resizes a slice-of-buffers to n slots, reallocating only when
+// the capacity is exceeded (which drops the retained inner buffers; they are
+// regrown on use).
+func growSlots(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		//cadyvet:allow first-call lazy growth to the communicator size; later calls reuse the slots
+		return make([][]float64, n)
+	}
+	return s[:n]
+}
+
+// growBuf resizes one buffer to exactly n values, reallocating only when the
+// capacity is exceeded. Contents are unspecified — every caller overwrites
+// the full length before reading it.
+func growBuf(s []float64, n int) []float64 {
+	if cap(s) < n {
+		//cadyvet:allow first-call lazy growth to the steady payload size; later calls reuse the buffer
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// batchSeg returns the x-segment [i0, i0+n) of one catalogued row.
+func batchSeg(f3s []*field.F3, f2s []*field.F2, id batchRow, i0, n int) []float64 {
+	if id.fi < len(f3s) {
+		fld := f3s[id.fi]
+		base := fld.Index(i0, id.j, id.k)
+		return fld.Data[base : base+n]
+	}
+	fld := f2s[id.fi-len(f3s)]
+	base := fld.Index(i0, id.j)
+	return fld.Data[base : base+n]
+}
+
 // ApplyDistBatch filters several 3-D fields and several 2-D fields in ONE
 // transpose round-trip: the x-segments of all fields' filtered rows are
 // concatenated into the same Alltoall payloads. A production X-Y
@@ -15,6 +67,8 @@ import (
 //
 // Numerically identical to calling ApplyDist per field (the per-row FFTs do
 // not interact). Returns the number of complete rows this rank filtered.
+//
+//cadyvet:allocfree
 func (f *Filter) ApplyDistBatch(t *topo.Topology, f3s []*field.F3, f2s []*field.F2) int {
 	rx := t.RowX
 	if rx == nil || rx.Size() == 1 {
@@ -36,17 +90,14 @@ func (f *Filter) ApplyDistBatch(t *topo.Topology, f3s []*field.F3, f2s []*field.
 	// Row catalog: every filtered (field, j, k) row across all fields, in a
 	// deterministic order shared by all members of the x communicator
 	// (blocks share J/K ranges along x).
-	type rowID struct {
-		fi   int // index into f3s, or len(f3s)+index into f2s
-		j, k int
-	}
-	var rows []rowID
+	rows := f.batch.rows[:0]
 	for fi, fld := range f3s {
 		b := fld.B
 		for k := b.K0; k < b.K1; k++ {
 			for j := b.J0; j < b.J1; j++ {
 				if f.Active(j) {
-					rows = append(rows, rowID{fi, j, k})
+					//cadyvet:allow grows to the steady per-step row count on the first call; later calls reuse the backing array
+					rows = append(rows, batchRow{fi, j, k})
 				}
 			}
 		}
@@ -55,10 +106,12 @@ func (f *Filter) ApplyDistBatch(t *topo.Topology, f3s []*field.F3, f2s []*field.
 		b := fld.B
 		for j := b.J0; j < b.J1; j++ {
 			if f.Active(j) {
-				rows = append(rows, rowID{len(f3s) + fi, j, 0})
+				//cadyvet:allow grows to the steady per-step row count on the first call; later calls reuse the backing array
+				rows = append(rows, batchRow{len(f3s) + fi, j, 0})
 			}
 		}
 	}
+	f.batch.rows = rows
 	nrows := len(rows)
 	if nrows == 0 {
 		return 0
@@ -66,43 +119,32 @@ func (f *Filter) ApplyDistBatch(t *topo.Topology, f3s []*field.F3, f2s []*field.
 
 	b0 := t.Block
 	nxLoc := b0.I1 - b0.I0
-	rowLo := func(r int) int { return r * nrows / px }
-	rowHi := func(r int) int { return (r + 1) * nrows / px }
-	xSeg := func(r int) int { return (r+1)*nx/px - r*nx/px }
-	myLo, myHi := rowLo(rx.Rank()), rowHi(rx.Rank())
-
-	segOf := func(id rowID, i0, n int) []float64 {
-		if id.fi < len(f3s) {
-			fld := f3s[id.fi]
-			base := fld.Index(i0, id.j, id.k)
-			return fld.Data[base : base+n]
-		}
-		fld := f2s[id.fi-len(f3s)]
-		base := fld.Index(i0, id.j)
-		return fld.Data[base : base+n]
-	}
+	myLo, myHi := rx.Rank()*nrows/px, (rx.Rank()+1)*nrows/px
 
 	// Transpose 1: ship my x-segment of every row to the row's owner.
-	send := make([][]float64, px)
-	recv := make([][]float64, px)
+	send := growSlots(f.batch.send, px)
+	recv := growSlots(f.batch.recv, px)
+	f.batch.send, f.batch.recv = send, recv
 	for r := 0; r < px; r++ {
-		cnt := rowHi(r) - rowLo(r)
-		send[r] = make([]float64, cnt*nxLoc)
-		for q := rowLo(r); q < rowHi(r); q++ {
-			copy(send[r][(q-rowLo(r))*nxLoc:], segOf(rows[q], b0.I0, nxLoc))
+		rLo, rHi := r*nrows/px, (r+1)*nrows/px
+		xSeg := (r+1)*nx/px - r*nx/px
+		send[r] = growBuf(send[r], (rHi-rLo)*nxLoc)
+		for q := rLo; q < rHi; q++ {
+			copy(send[r][(q-rLo)*nxLoc:], batchSeg(f3s, f2s, rows[q], b0.I0, nxLoc))
 		}
-		recv[r] = make([]float64, (myHi-myLo)*xSeg(r))
+		recv[r] = growBuf(recv[r], (myHi-myLo)*xSeg)
 	}
 	rx.Alltoall(send, recv)
 
 	// Assemble, filter, disassemble.
-	full := make([][]float64, myHi-myLo)
+	full := growSlots(f.batch.full, myHi-myLo)
+	f.batch.full = full
 	for q := range full {
-		full[q] = make([]float64, nx)
+		full[q] = growBuf(full[q], nx)
 	}
 	for r := 0; r < px; r++ {
 		i0 := r * nx / px
-		segLen := xSeg(r)
+		segLen := (r+1)*nx/px - i0
 		for q := myLo; q < myHi; q++ {
 			copy(full[q-myLo][i0:i0+segLen], recv[r][(q-myLo)*segLen:])
 		}
@@ -114,17 +156,19 @@ func (f *Filter) ApplyDistBatch(t *topo.Topology, f3s []*field.F3, f2s []*field.
 	// Transpose 2: scatter filtered segments back.
 	for r := 0; r < px; r++ {
 		i0 := r * nx / px
-		segLen := xSeg(r)
-		send[r] = make([]float64, (myHi-myLo)*segLen)
+		segLen := (r+1)*nx/px - i0
+		send[r] = growBuf(send[r], (myHi-myLo)*segLen)
 		for q := myLo; q < myHi; q++ {
 			copy(send[r][(q-myLo)*segLen:], full[q-myLo][i0:i0+segLen])
 		}
-		recv[r] = make([]float64, (rowHi(r)-rowLo(r))*nxLoc)
+		rLo, rHi := r*nrows/px, (r+1)*nrows/px
+		recv[r] = growBuf(recv[r], (rHi-rLo)*nxLoc)
 	}
 	rx.Alltoall(send, recv)
 	for r := 0; r < px; r++ {
-		for q := rowLo(r); q < rowHi(r); q++ {
-			copy(segOf(rows[q], b0.I0, nxLoc), recv[r][(q-rowLo(r))*nxLoc:(q-rowLo(r))*nxLoc+nxLoc])
+		rLo, rHi := r*nrows/px, (r+1)*nrows/px
+		for q := rLo; q < rHi; q++ {
+			copy(batchSeg(f3s, f2s, rows[q], b0.I0, nxLoc), recv[r][(q-rLo)*nxLoc:(q-rLo)*nxLoc+nxLoc])
 		}
 	}
 	return myHi - myLo

@@ -42,6 +42,7 @@ type Filter struct {
 	rp      *fft.RealPlan
 	spec    []complex128 // half spectrum, Nx/2+1
 	scratch []complex128 // RealPlan work space
+	batch   batchScratch // reusable ApplyDistBatch transpose buffers
 }
 
 // New builds a filter that leaves latitudes equatorward of cutoffLatDeg
@@ -119,6 +120,8 @@ func (f *Filter) Active(j int) bool { return f.MMax(j) < f.g.Nx/2 }
 // FilterRow low-passes one full latitude row in place (len = Nx). It is
 // allocation-free but uses the Filter's scratch, so it must not be called
 // concurrently on the same Filter.
+//
+//cadyvet:allocfree
 func (f *Filter) FilterRow(row []float64, j int) {
 	mmax := f.MMax(j)
 	nx := f.g.Nx
@@ -139,6 +142,8 @@ func (f *Filter) FilterRow(row []float64, j int) {
 // must span the full longitude circle (p_x = 1); rows whose latitude is
 // below the cutoff are skipped at zero cost. Returns the number of
 // transformed rows (for compute accounting: each costs ~2·Nx·log2(Nx)).
+//
+//cadyvet:allocfree
 func (f *Filter) Apply(fld *field.F3, rect field.Rect) int {
 	if !fld.B.OwnsFullX() {
 		panic("filter: serial Apply requires a full longitude circle per rank")
@@ -159,6 +164,8 @@ func (f *Filter) Apply(fld *field.F3, rect field.Rect) int {
 }
 
 // Apply2 filters a 2-D field the same way.
+//
+//cadyvet:allocfree
 func (f *Filter) Apply2(fld *field.F2, rect field.Rect) int {
 	if !fld.B.OwnsFullX() {
 		panic("filter: serial Apply2 requires a full longitude circle per rank")

@@ -39,6 +39,8 @@ func Adaptation(g *grid.Grid, cfg AdaptConfig, st *state.State, sur *Surface, cr
 // read-only, so disjoint k sub-rects may run concurrently (the intra-rank
 // k-plane tiling of dycore.Config.Workers relies on this). Returns points
 // updated (3·|r|).
+//
+//cadyvet:allocfree
 func Adaptation3D(g *grid.Grid, st *state.State, sur *Surface, cres *CRes, out *Tendency, r field.Rect) int {
 	m := newMetric(g)
 	xo := st.Phi.XOff(0)
@@ -141,6 +143,8 @@ func Adaptation3D(g *grid.Grid, st *state.State, sur *Surface, cres *CRes, out *
 // AdaptationPsa evaluates the 2-D surface-pressure component dp'_sa of the
 // adaptation tendency over r.Flat2D(). It must run exactly once per tendency
 // evaluation (never per k tile). Returns points updated.
+//
+//cadyvet:allocfree
 func AdaptationPsa(g *grid.Grid, cfg AdaptConfig, st *state.State, cres *CRes, out *Tendency, r field.Rect) int {
 	m := newMetric(g)
 	xo := st.Psa.XOff(0)

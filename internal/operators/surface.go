@@ -44,6 +44,8 @@ func NewSurface(b field.Block) *Surface {
 
 // Update recomputes p_es and P from p'_sa over the entire storage region
 // (owned + halos) and returns the number of points updated.
+//
+//cadyvet:allocfree
 func (s *Surface) Update(psa *field.F2) int {
 	pes, pf, src := s.Pes.Data, s.P.Data, psa.Data
 	for i, v := range src {
@@ -62,26 +64,41 @@ type Tendency struct {
 	DV   *field.F3
 	DPhi *field.F3
 	DPsa *field.F2
+
+	// Component lists handed out by F3s/F2s, filled once at construction so
+	// per-step callers get a slice of a fixed array instead of a fresh
+	// literal.
+	f3s [3]*field.F3
+	f2s [1]*field.F2
 }
 
 // NewTendency allocates a zero tendency on the block.
 func NewTendency(b field.Block) *Tendency {
-	return &Tendency{
+	t := &Tendency{
 		B:    b,
 		DU:   field.NewF3(b),
 		DV:   field.NewF3(b),
 		DPhi: field.NewF3(b),
 		DPsa: field.NewF2(b),
 	}
+	t.f3s = [3]*field.F3{t.DU, t.DV, t.DPhi}
+	t.f2s = [1]*field.F2{t.DPsa}
+	return t
 }
 
 // F3s returns the 3-D components (same order as state.State.F3s).
-func (t *Tendency) F3s() []*field.F3 { return []*field.F3{t.DU, t.DV, t.DPhi} }
+//
+//cadyvet:allocfree
+func (t *Tendency) F3s() []*field.F3 { return t.f3s[:] }
 
 // F2s returns the 2-D components.
-func (t *Tendency) F2s() []*field.F2 { return []*field.F2{t.DPsa} }
+//
+//cadyvet:allocfree
+func (t *Tendency) F2s() []*field.F2 { return t.f2s[:] }
 
 // Zero clears the tendency (storage included).
+//
+//cadyvet:allocfree
 func (t *Tendency) Zero() {
 	t.DU.Zero()
 	t.DV.Zero()

@@ -131,17 +131,23 @@ func TestRandomNoiseDeterministicAcrossDecompositions(t *testing.T) {
 
 func TestAllCasesFiniteAndStable(t *testing.T) {
 	g := grid.New(32, 16, 6)
-	for name, init := range map[string]InitFunc{
-		"resting":   RestingIsothermal(260),
-		"solidbody": SolidBodyRotation(25, 280),
-		"pulse":     GravityWavePulse(5, 0.3, 1.0),
-		"jet":       ZonalJetWithWaves(25, 4),
-		"noise":     RandomNoise(7, 0.5, 1, 30),
-	} {
-		res := run(t, g, init, 3, 40, 240)
+	// A fixed case order keeps the simulated-communication schedule identical
+	// across runs (map iteration order would randomize it).
+	cases := []struct {
+		name string
+		init InitFunc
+	}{
+		{"resting", RestingIsothermal(260)},
+		{"solidbody", SolidBodyRotation(25, 280)},
+		{"pulse", GravityWavePulse(5, 0.3, 1.0)},
+		{"jet", ZonalJetWithWaves(25, 4)},
+		{"noise", RandomNoise(7, 0.5, 1, 30)},
+	}
+	for _, tc := range cases {
+		res := run(t, g, tc.init, 3, 40, 240)
 		for _, st := range res.Finals {
 			if !st.AllFinite() {
-				t.Errorf("case %q went non-finite", name)
+				t.Errorf("case %q went non-finite", tc.name)
 			}
 		}
 	}

@@ -303,6 +303,7 @@ func (e *Exchanger) Begin(f3s []*field.F3, f2s []*field.F2) *Pending {
 	prev := c.SetCategory(comm.CatStencil)
 	defer c.SetCategory(prev)
 	if len(e.sendBuf) < e.maxCount {
+		//cadyvet:allow first-exchange lazy buffer growth; steady-state exchanges reuse the buffer (0 allocs/op pinned by the dycore alloc benchmark)
 		e.sendBuf = make([]float64, e.maxCount)
 	}
 	buf := e.sendBuf
@@ -340,6 +341,7 @@ func (p *Pending) Finish() {
 	prev := c.SetCategory(comm.CatStencil)
 	defer c.SetCategory(prev)
 	if len(e.recvBuf) < e.maxCount {
+		//cadyvet:allow first-exchange lazy buffer growth; steady-state exchanges reuse the buffer (0 allocs/op pinned by the dycore alloc benchmark)
 		e.recvBuf = make([]float64, e.maxCount)
 	}
 	buf := e.recvBuf
