@@ -7,9 +7,13 @@
 //
 //	dycore [-alg ca|yz|xy] [-nx N -ny N -nz N] [-pa N -pb N] [-m M]
 //	       [-steps K] [-dt1 s -dt2 s] [-hs] [-exactc] [-nooverlap] [-nofuse]
+//	dycore -auto [-procs P] [-profile machine.json] [...]
 //
 // For -alg yz/ca the process grid is p_y × p_z = pa × pb; for -alg xy it is
-// p_x × p_y.
+// p_x × p_y. With -auto the autotuner (internal/tune) chooses the algorithm,
+// process grid, worker count and y-row partition for -procs ranks instead;
+// -profile supplies a calibrated machine profile (cadytune calibrate),
+// otherwise the analytic Tianhe-like profile is used.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"cadycore/internal/heldsuarez"
 	"cadycore/internal/state"
 	"cadycore/internal/trace"
+	"cadycore/internal/tune"
 )
 
 func main() {
@@ -47,6 +52,9 @@ func main() {
 	saveFile := flag.String("save", "", "write a restart checkpoint to this file at the end")
 	saveEvery := flag.Int("save-every", 0, "also write the -save checkpoint every K steps (crash durability; 0 = only at the end)")
 	loadFile := flag.String("load", "", "initialize from a restart checkpoint instead of the H-S initial state")
+	auto := flag.Bool("auto", false, "let the autotuner choose algorithm, process grid and row partition")
+	procs := flag.Int("procs", 0, "rank budget for -auto (default pa*pb)")
+	profilePath := flag.String("profile", "", "machine profile for -auto (default: analytic Tianhe-like profile)")
 	flag.Parse()
 
 	if *saveEvery < 0 {
@@ -64,20 +72,45 @@ func main() {
 	cfg.ExactC, cfg.NoOverlap, cfg.NoFusedSmoothing = *exactC, *noOverlap, *noFuse
 	cfg.ShiftedPoleMirror = *shiftPoles
 
-	var a dycore.Algorithm
-	switch *alg {
-	case "ca":
-		a = dycore.AlgCommAvoid
-	case "yz":
-		a = dycore.AlgBaselineYZ
-	case "xy":
-		a = dycore.AlgBaselineXY
-	default:
-		fmt.Fprintln(os.Stderr, "unknown -alg:", *alg)
-		os.Exit(2)
-	}
-	set := dycore.Setup{Alg: a, PA: *pa, PB: *pb, Cfg: cfg}
 	g := grid.New(*nx, *ny, *nz)
+	var set dycore.Setup
+	if *auto {
+		budget := *procs
+		if budget == 0 {
+			budget = *pa * *pb
+		}
+		prof := tune.DefaultProfile()
+		if *profilePath != "" {
+			var err error
+			if prof, err = tune.LoadProfile(*profilePath); err != nil {
+				fmt.Fprintln(os.Stderr, "profile:", err)
+				os.Exit(1)
+			}
+		}
+		planner := &tune.Planner{Profile: prof}
+		plan, err := planner.Plan(g, budget, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("autotuned plan: %s (predicted %.4g s/step, pilot %.4g s/step)\n",
+			plan, plan.PredictedStep, plan.PilotStep)
+		set = plan.Setup(cfg)
+	} else {
+		var a dycore.Algorithm
+		switch *alg {
+		case "ca":
+			a = dycore.AlgCommAvoid
+		case "yz":
+			a = dycore.AlgBaselineYZ
+		case "xy":
+			a = dycore.AlgBaselineXY
+		default:
+			fmt.Fprintln(os.Stderr, "unknown -alg:", *alg)
+			os.Exit(2)
+		}
+		set = dycore.Setup{Alg: a, PA: *pa, PB: *pb, Cfg: cfg}
+	}
 
 	var hook dycore.StepHook
 	if *hs {
@@ -103,7 +136,7 @@ func main() {
 	}
 
 	fmt.Printf("%s on %s, process grid %dx%d (%d ranks), M=%d, %d steps\n",
-		a, g, *pa, *pb, set.Procs(), cfg.M, *steps)
+		set.Alg, g, set.PA, set.PB, set.Procs(), set.Cfg.M, *steps)
 
 	opts := dycore.RunOpts{Hook: hook, Traced: *timeline}
 	if *saveEvery > 0 {

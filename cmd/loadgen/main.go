@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	loadgen [-addr host:port] [-n 24] [-c 4] [-steps 2] [-o BENCH_service.json]
+//	loadgen [-addr host:port] [-n 24] [-c 4] [-steps 2] [-auto] [-o BENCH_service.json]
+//
+// With -auto every job is submitted as {"layout": "auto", "procs": pa*pb}:
+// the service's planner (internal/tune) chooses the algorithm, process grid
+// and row partition, so the benchmark exercises the planning path end to end.
 //
 // Without -addr it boots an in-process service (-workers, -queue size it)
 // on a loopback listener, so the benchmark is self-contained.
@@ -36,6 +40,7 @@ type benchReport struct {
 	Workers       int     `json:"workers,omitempty"` // self-serve mode
 	QueueCap      int     `json:"queue_cap,omitempty"`
 	Steps         int     `json:"steps_per_job"`
+	Auto          bool    `json:"auto_layout,omitempty"`
 	Completed     int     `json:"completed"`
 	Failed        int     `json:"failed"`
 	Rejected      int64   `json:"rejected_submits"`
@@ -62,6 +67,7 @@ func main() {
 	pb := flag.Int("pb", 2, "second process-grid extent")
 	m := flag.Int("m", 2, "nonlinear iterations per step")
 	steps := flag.Int("steps", 2, "steps per job")
+	auto := flag.Bool("auto", false, "submit auto-layout jobs (planner picks alg/pa/pb for pa*pb ranks)")
 	out := flag.String("o", "BENCH_service.json", "output JSON path")
 	flag.Parse()
 
@@ -89,6 +95,13 @@ func main() {
 	spec := map[string]any{
 		"alg": *alg, "nx": *nx, "ny": *ny, "nz": *nz,
 		"pa": *pa, "pb": *pb, "m": *m, "steps": *steps,
+	}
+	if *auto {
+		spec = map[string]any{
+			"layout": "auto", "procs": *pa * *pb,
+			"nx": *nx, "ny": *ny, "nz": *nz, "m": *m, "steps": *steps,
+		}
+		rep.Auto = true
 	}
 	specB, _ := json.Marshal(spec)
 

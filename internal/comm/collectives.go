@@ -42,7 +42,7 @@ func (c *Comm) nextCollTag() int {
 // Barrier blocks until every rank of the communicator has entered it
 // (dissemination algorithm, ⌈log₂ p⌉ rounds).
 func (c *Comm) Barrier() {
-	c.stats.Collectives++
+	c.stats.countColl()
 	tag := c.nextCollTag()
 	if c.size == 1 {
 		return
@@ -59,7 +59,7 @@ func (c *Comm) Barrier() {
 // Bcast broadcasts data from root to every rank (binomial tree). Every rank
 // must pass a slice of identical length; non-root contents are overwritten.
 func (c *Comm) Bcast(root int, data []float64) {
-	c.stats.Collectives++
+	c.stats.countColl()
 	tag := c.nextCollTag()
 	if c.size == 1 {
 		return
@@ -111,7 +111,7 @@ const shortAllreduce = 256
 // of the full vector. Optimal in rounds, not in volume. Non-power-of-two
 // sizes fold the excess ranks onto the low ranks first (like MPICH).
 func (c *Comm) AllreduceRD(data []float64, op Op) {
-	c.stats.Collectives++
+	c.stats.countColl()
 	tag := c.nextCollTag()
 	p := c.size
 	if p == 1 || len(data) == 0 {
@@ -153,7 +153,7 @@ func (c *Comm) AllreduceRD(data []float64, op Op) {
 
 // AllreduceRing is the ring reduce-scatter + allgather allreduce.
 func (c *Comm) AllreduceRing(data []float64, op Op) {
-	c.stats.Collectives++
+	c.stats.countColl()
 	tag := c.nextCollTag()
 	p := c.size
 	if p == 1 || len(data) == 0 {
@@ -187,7 +187,7 @@ func (c *Comm) AllreduceRing(data []float64, op Op) {
 // ordered by rank (recv length must be p·len(send)). Ring algorithm:
 // p−1 steps of len(send) values each.
 func (c *Comm) Allgather(send, recv []float64) {
-	c.stats.Collectives++
+	c.stats.countColl()
 	tag := c.nextCollTag()
 	p := c.size
 	n := len(send)
@@ -214,7 +214,7 @@ func (c *Comm) Allgather(send, recv []float64) {
 // op(data₀, …, data_{r−1}); rank 0's buffer is zeroed. Linear pipeline,
 // which is optimal in volume for the short z communicators it is used on.
 func (c *Comm) Exscan(data []float64, op Op) {
-	c.stats.Collectives++
+	c.stats.countColl()
 	tag := c.nextCollTag()
 	p := c.size
 	if p == 1 {
@@ -243,7 +243,7 @@ func (c *Comm) Exscan(data []float64, op Op) {
 // receives the block rank r sent to this rank. Pairwise-exchange algorithm,
 // p−1 rounds. send[c.Rank()] is copied locally.
 func (c *Comm) Alltoall(send, recv [][]float64) {
-	c.stats.Collectives++
+	c.stats.countColl()
 	tag := c.nextCollTag()
 	p := c.size
 	if len(send) != p || len(recv) != p {
@@ -261,7 +261,7 @@ func (c *Comm) Alltoall(send, recv [][]float64) {
 // Reduce reduces pointwise onto root (binomial tree). Non-root buffers are
 // clobbered with partial reductions.
 func (c *Comm) Reduce(root int, data []float64, op Op) {
-	c.stats.Collectives++
+	c.stats.countColl()
 	tag := c.nextCollTag()
 	if c.size == 1 {
 		return

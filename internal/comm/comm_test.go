@@ -301,6 +301,52 @@ func TestStatsCounting(t *testing.T) {
 	}
 }
 
+func TestCollectiveKindBreakdown(t *testing.T) {
+	w := NewWorld(4, TianheLike())
+	w.Run(func(c *Comm) {
+		buf := []float64{float64(c.Rank()), 1}
+		c.SetCategory(CatCollectiveZ)
+		c.Allreduce(buf, Sum)
+		c.Allreduce(buf, Sum)
+		c.SetCategory(CatCollectiveX)
+		recv := make([]float64, 2*c.Size())
+		c.Allgather(buf, recv)
+		c.SetCategory(CatStencil)
+		if c.Rank() == 0 {
+			c.Send(1, 7, buf)
+		} else if c.Rank() == 1 {
+			c.Recv(0, 7)
+		}
+	})
+	a := w.Stats()
+	if got := a.CSumOps(); got != 2*4 {
+		t.Errorf("CSumOps = %d, want %d", got, 2*4)
+	}
+	if got := a.FilterOps(); got != 1*4 {
+		t.Errorf("FilterOps = %d, want %d", got, 1*4)
+	}
+	if a.CollByCat[CatStencil] != 0 {
+		t.Errorf("stencil collectives = %d, want 0", a.CollByCat[CatStencil])
+	}
+	if a.CSumBytes() <= 0 || a.FilterBytes() <= 0 {
+		t.Errorf("per-kind bytes should be positive: csum=%d filter=%d",
+			a.CSumBytes(), a.FilterBytes())
+	}
+	if got := a.ExchangeMsgs(); got != 1 {
+		t.Errorf("ExchangeMsgs = %d, want 1", got)
+	}
+	if got := a.ExchangeBytes(); got != 16 {
+		t.Errorf("ExchangeBytes = %d, want 16", got)
+	}
+	var coll int64
+	for _, v := range a.CollByCat {
+		coll += v
+	}
+	if coll != a.Collectives {
+		t.Errorf("CollByCat sum %d != Collectives %d", coll, a.Collectives)
+	}
+}
+
 func TestSimulatedClockMessageDelay(t *testing.T) {
 	m := NetModel{Latency: 1e-3, ByteTime: 0, SendOverhead: 0, ComputeRate: 1}
 	w := NewWorld(2, m)

@@ -11,7 +11,7 @@ import (
 // in the same program order. A negative color returns nil (the rank joins no
 // new communicator), mirroring MPI_UNDEFINED.
 func (c *Comm) Split(color, key int) *Comm {
-	c.stats.Collectives++
+	c.stats.countColl()
 	seq := c.splitSeq
 	c.splitSeq++
 

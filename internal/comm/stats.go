@@ -47,6 +47,10 @@ type Stats struct {
 	MsgsByCat  [numCategories]int64
 	// Collectives counts collective operations entered.
 	Collectives int64
+	// CollByCat breaks Collectives down by category, so a z summation
+	// (CatCollectiveZ), a filter transpose (CatCollectiveX) and an
+	// uncategorized barrier are distinguishable in post-run accounting.
+	CollByCat [numCategories]int64
 	// CommTime is simulated seconds spent in communication per category
 	// (send/receive overheads plus stall time waiting for messages).
 	CommTime [numCategories]float64
@@ -85,6 +89,13 @@ func (s *Stats) addCommTime(dt float64) {
 	s.CommTime[s.cat] += dt
 }
 
+// countColl records entry into a collective operation under the current
+// category.
+func (s *Stats) countColl() {
+	s.Collectives++
+	s.CollByCat[s.cat]++
+}
+
 // countSend records an outgoing message of the given payload size.
 func (s *Stats) countSend(bytes int) {
 	s.BytesSent += int64(bytes)
@@ -100,9 +111,10 @@ type Aggregate struct {
 	BytesSent   int64
 	MsgsSent    int64
 	Collectives int64
-	// BytesByCat/MsgsByCat are summed over ranks.
+	// BytesByCat/MsgsByCat/CollByCat are summed over ranks.
 	BytesByCat [numCategories]int64
 	MsgsByCat  [numCategories]int64
+	CollByCat  [numCategories]int64
 	// CommTimeMax[cat] is the maximum over ranks of per-category simulated
 	// communication time; CompTimeMax and SimTime likewise.
 	CommTimeMax [numCategories]float64
@@ -132,6 +144,28 @@ func (a Aggregate) CollectiveTime() float64 {
 // StencilTime returns the halo-exchange time (Figure 7's quantity).
 func (a Aggregate) StencilTime() float64 { return a.CommTimeMax[CatStencil] }
 
+// Per-kind traffic accessors: the three communication kinds the cost model
+// distinguishes are the vertical summation collective (csum), the Fourier
+// filter collective, and the stencil halo exchange.
+
+// CSumBytes returns bytes sent inside z-summation collectives.
+func (a Aggregate) CSumBytes() int64 { return a.BytesByCat[CatCollectiveZ] }
+
+// FilterBytes returns bytes sent inside filter (distributed-FFT) collectives.
+func (a Aggregate) FilterBytes() int64 { return a.BytesByCat[CatCollectiveX] }
+
+// ExchangeBytes returns bytes sent as stencil halo exchange.
+func (a Aggregate) ExchangeBytes() int64 { return a.BytesByCat[CatStencil] }
+
+// CSumOps returns the number of z-summation collective operations entered.
+func (a Aggregate) CSumOps() int64 { return a.CollByCat[CatCollectiveZ] }
+
+// FilterOps returns the number of filter collective operations entered.
+func (a Aggregate) FilterOps() int64 { return a.CollByCat[CatCollectiveX] }
+
+// ExchangeMsgs returns the number of stencil halo-exchange messages sent.
+func (a Aggregate) ExchangeMsgs() int64 { return a.MsgsByCat[CatStencil] }
+
 func aggregate(comms []*Comm) Aggregate {
 	a := Aggregate{Ranks: len(comms)}
 	for _, c := range comms {
@@ -142,6 +176,7 @@ func aggregate(comms []*Comm) Aggregate {
 		for i := 0; i < int(numCategories); i++ {
 			a.BytesByCat[i] += s.BytesByCat[i]
 			a.MsgsByCat[i] += s.MsgsByCat[i]
+			a.CollByCat[i] += s.CollByCat[i]
 			if s.CommTime[i] > a.CommTimeMax[i] {
 				a.CommTimeMax[i] = s.CommTime[i]
 			}

@@ -1,0 +1,42 @@
+package costmodel
+
+// Calibrated-constant variants of the §5.3 expressions. The Θ forms order
+// algorithms asymptotically but cannot choose between two decompositions at
+// a fixed machine; attaching measured LogP constants turns them into
+// predicted seconds:
+//
+//	T(alg) = α·S_alg + β·8·W_alg
+//
+// where α is the effective per-synchronization latency (network latency plus
+// both send/receive software overheads), β the per-byte transfer time, W
+// counts float64 values moved per processor and S synchronization rounds.
+
+// Calib holds machine-calibrated LogP constants, as measured by the
+// internal/tune calibrator or derived from a comm.NetModel.
+type Calib struct {
+	// Alpha is the effective latency per synchronization round, seconds.
+	Alpha float64 `json:"alpha"`
+	// Beta is the transfer time per byte, seconds.
+	Beta float64 `json:"beta"`
+}
+
+// wordBytes is the payload size of one W unit (a float64).
+const wordBytes = 8
+
+// TimeCommAvoid predicts the communication seconds of the
+// communication-avoiding algorithm for the problem.
+func (c Calib) TimeCommAvoid(p Problem) float64 {
+	return c.Alpha*SCommAvoid(p) + c.Beta*wordBytes*WCommAvoid(p)
+}
+
+// TimeOriginalYZ predicts the communication seconds of the original
+// algorithm under the Y-Z decomposition.
+func (c Calib) TimeOriginalYZ(p Problem) float64 {
+	return c.Alpha*SOriginalYZ(p) + c.Beta*wordBytes*WOriginalYZ(p)
+}
+
+// TimeOriginalXY predicts the communication seconds of the original
+// algorithm under the X-Y decomposition.
+func (c Calib) TimeOriginalXY(p Problem) float64 {
+	return c.Alpha*SOriginalXY(p) + c.Beta*wordBytes*WOriginalXY(p)
+}

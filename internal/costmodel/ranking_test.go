@@ -1,0 +1,91 @@
+package costmodel_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/costmodel"
+	"cadycore/internal/dycore"
+	"cadycore/internal/grid"
+	"cadycore/internal/state"
+)
+
+// TestCalibratedModelRankingMatchesMeasured is the Figure-1-style model
+// validation: with constants taken from the simulated network model, the
+// calibrated W/S expressions must rank decompositions in the same order as
+// the measured communication time of real runs — otherwise the planner's
+// analytic stage would mis-seed the pilot stage.
+func TestCalibratedModelRankingMatchesMeasured(t *testing.T) {
+	g := grid.New(16, 12, 4)
+	const steps = 2
+	cfg := dycore.DefaultConfig()
+	cfg.M = 2
+	cfg.Dt1, cfg.Dt2 = 40, 240
+
+	model := comm.TianheLike()
+	cal := costmodel.Calib{
+		Alpha: model.Latency + 2*model.SendOverhead,
+		Beta:  model.ByteTime,
+	}
+
+	init := func(g *grid.Grid, st *state.State) {
+		st.InitFromPhysical(g,
+			func(lam, th, sig float64) float64 { return 20 * math.Sin(th) * math.Sin(th) },
+			func(lam, th, sig float64) float64 { return 1.5 * math.Sin(2*lam) * math.Sin(th) },
+			func(lam, th, sig float64) float64 { return 280 + 8*math.Cos(th)*math.Cos(th) },
+			func(lam, th float64) float64 { return 100000 + 200*math.Sin(th) },
+		)
+	}
+
+	type layout struct {
+		name      string
+		setup     dycore.Setup
+		predicted float64
+	}
+	prob := func(px, py, pz int) costmodel.Problem {
+		return costmodel.Problem{Nx: g.Nx, Ny: g.Ny, Nz: g.Nz, M: cfg.M, K: steps, Px: px, Py: py, Pz: pz}
+	}
+	layouts := []layout{
+		{"ca-2x2", dycore.Setup{Alg: dycore.AlgCommAvoid, PA: 2, PB: 2, Cfg: cfg}, cal.TimeCommAvoid(prob(1, 2, 2))},
+		{"yz-4x1", dycore.Setup{Alg: dycore.AlgBaselineYZ, PA: 4, PB: 1, Cfg: cfg}, cal.TimeOriginalYZ(prob(1, 4, 1))},
+		{"yz-1x4", dycore.Setup{Alg: dycore.AlgBaselineYZ, PA: 1, PB: 4, Cfg: cfg}, cal.TimeOriginalYZ(prob(1, 1, 4))},
+		{"xy-2x2", dycore.Setup{Alg: dycore.AlgBaselineXY, PA: 2, PB: 2, Cfg: cfg}, cal.TimeOriginalXY(prob(2, 2, 1))},
+	}
+
+	measured := make([]float64, len(layouts))
+	for i, l := range layouts {
+		res := dycore.Run(l.setup, g, model, init, steps)
+		measured[i] = res.Agg.TotalCommTime()
+		t.Logf("%-8s predicted %.3e s  measured %.3e s (csum %d B, filter %d B, exchange %d B)",
+			l.name, l.predicted, measured[i],
+			res.Agg.CSumBytes(), res.Agg.FilterBytes(), res.Agg.ExchangeBytes())
+	}
+
+	rank := func(vals []float64) []int {
+		idx := make([]int, len(vals))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+		return idx
+	}
+	pred := make([]float64, len(layouts))
+	for i, l := range layouts {
+		pred[i] = l.predicted
+	}
+	pr, mr := rank(pred), rank(measured)
+	for i := range pr {
+		if pr[i] != mr[i] {
+			names := func(idx []int) []string {
+				out := make([]string, len(idx))
+				for i, k := range idx {
+					out[i] = layouts[k].name
+				}
+				return out
+			}
+			t.Fatalf("model ranking %v != measured ranking %v", names(pr), names(mr))
+		}
+	}
+}

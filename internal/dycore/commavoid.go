@@ -128,20 +128,12 @@ func (ca *CommAvoid) SetState(init *state.State) {
 // availY reports the former-smoothing row window of the rank owning global
 // row j: its owned rows, extended across a pole by the mirror ghosts.
 func (ca *CommAvoid) availY(j int) (lo, hi int) {
-	py, ny := ca.tp.Py, ca.g.Ny
-	w := j * py / ny
-	for w > 0 && j < w*ny/py {
-		w--
-	}
-	for w < py-1 && j >= (w+1)*ny/py {
-		w++
-	}
-	lo, hi = w*ny/py, (w+1)*ny/py
+	lo, hi = ca.tp.RowWindow(j)
 	if lo == 0 {
 		lo = -2
 	}
-	if hi == ny {
-		hi = ny + 2
+	if hi == ca.g.Ny {
+		hi = ca.g.Ny + 2
 	}
 	return lo, hi
 }

@@ -108,3 +108,13 @@ const (
 	costLincomb   = 0.1
 	costFilterRow = 0.05 // per retained row, times Nx·log2(Nx)
 )
+
+// SimCosts reports the simulated-clock work weights the integrators charge
+// through Comm.Compute: point-update equivalents per mesh point for the
+// stencil kernels (csum covers the fused D(P)+Ĉ pass) and per nx·log2(nx)
+// of one retained row for the polar filter. The autotuner derives the
+// simulated machine's kernel rates from these, so its analytic predictions
+// and its pilot measurements price compute identically.
+func SimCosts() (adapt, advect, smooth, csum, filterRow float64) {
+	return costAdapt, costAdvect, costSmooth, costDivP + costCSum, costFilterRow
+}

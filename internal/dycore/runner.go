@@ -55,6 +55,9 @@ type Setup struct {
 	PA, PB int
 	PC     int // only for AlgBaseline3D
 	Cfg    Config
+	// RowStarts, when non-nil, selects a non-uniform y partition (py+1
+	// boundaries; see topo.NewWithRows). Nil keeps the uniform partition.
+	RowStarts []int
 }
 
 // Procs returns the total rank count.
@@ -90,7 +93,7 @@ func (s Setup) HaloWidths() (hx, hy, hz int) {
 func (s Setup) Build(c *comm.Comm, g *grid.Grid) (*topo.Topology, Integrator) {
 	px, py, pz := s.procGrid()
 	hx, hy, hz := s.HaloWidths()
-	tp := topo.New(c, g, px, py, pz, hx, hy, hz)
+	tp := topo.NewWithRows(c, g, px, py, pz, hx, hy, hz, s.RowStarts)
 	switch s.Alg {
 	case AlgCommAvoid:
 		return tp, NewCommAvoid(s.Cfg, g, tp)

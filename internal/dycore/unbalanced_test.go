@@ -1,0 +1,88 @@
+package dycore
+
+import (
+	"testing"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/grid"
+)
+
+// TestUniformRowStartsBitwise checks the tentpole equivalence property: an
+// explicit RowStarts equal to the uniform assignment must be bitwise
+// identical to the implicit uniform partition, for every algorithm — the
+// row-partition plumbing may not change a single floating-point operation.
+func TestUniformRowStartsBitwise(t *testing.T) {
+	g := testGrid()
+	cases := []struct {
+		alg    Algorithm
+		pa, pb int
+		py     int // which extent is the y decomposition
+	}{
+		{AlgBaselineYZ, 2, 2, 2},
+		{AlgBaselineYZ, 5, 1, 5},
+		{AlgCommAvoid, 2, 2, 2},
+		{AlgBaselineXY, 2, 2, 2},
+	}
+	for _, c := range cases {
+		cfg := testCfg(2)
+		uniform := Run(Setup{Alg: c.alg, PA: c.pa, PB: c.pb, Cfg: cfg}, g, comm.Zero(), testInit, 2)
+		explicit := Run(Setup{
+			Alg: c.alg, PA: c.pa, PB: c.pb, Cfg: cfg,
+			RowStarts: grid.UniformRowStarts(g.Ny, c.py),
+		}, g, comm.Zero(), testInit, 2)
+		if d := MaxDiffGlobal(g, uniform.Finals, explicit.Finals); d != 0 {
+			t.Errorf("%v %dx%d: explicit uniform RowStarts deviates by %g, want bitwise identity",
+				c.alg, c.pa, c.pb, d)
+		}
+	}
+}
+
+// TestUnbalancedYZBitwiseVsSerial: the baseline Y-Z y-decomposition is
+// bitwise invariant in the partition (no reduction-order change when pz = 1),
+// so even a deliberately skewed partition must reproduce the serial run
+// exactly.
+func TestUnbalancedYZBitwiseVsSerial(t *testing.T) {
+	g := testGrid() // Ny = 10
+	cfg := testCfg(2)
+	serial := Run(Setup{Alg: AlgBaselineYZ, PA: 1, PB: 1, Cfg: cfg}, g, comm.Zero(), testInit, 2)
+	for _, starts := range [][]int{
+		{0, 2, 10},       // polar rank gets 2 rows, the other 8
+		{0, 2, 7, 10},    // three uneven chunks
+		{0, 2, 4, 8, 10}, // polar ranks small, mid-latitude ranks big
+	} {
+		py := len(starts) - 1
+		par := Run(Setup{
+			Alg: AlgBaselineYZ, PA: py, PB: 1, Cfg: cfg, RowStarts: starts,
+		}, g, comm.Zero(), testInit, 2)
+		if d := MaxDiffGlobal(g, serial.Finals, par.Finals); d != 0 {
+			t.Errorf("unbalanced Y-Z %v deviates from serial by %g, want bitwise identity", starts, d)
+		}
+	}
+}
+
+// TestUnbalancedCommAvoidMatchesBaseline: exact-C CA on an unbalanced
+// partition stays within round-off of the serial baseline, like the uniform
+// CA runs do.
+func TestUnbalancedCommAvoidMatchesBaseline(t *testing.T) {
+	g := testGrid()
+	cfg := testCfg(1)
+	base := Run(Setup{Alg: AlgBaselineYZ, PA: 1, PB: 1, Cfg: cfg}, g, comm.Zero(), testInit, 2)
+	cfgExact := cfg
+	cfgExact.ExactC = true
+	for _, starts := range [][]int{
+		{0, 3, 10},
+		{0, 2, 8, 10},
+	} {
+		py := len(starts) - 1
+		ca := Run(Setup{
+			Alg: AlgCommAvoid, PA: py, PB: 2, Cfg: cfgExact, RowStarts: starts,
+		}, g, comm.Zero(), testInit, 2)
+		d := MaxDiffGlobal(g, base.Finals, ca.Finals)
+		if d > 1e-7 {
+			t.Errorf("exact-C CA rows %v deviates from baseline by %g", starts, d)
+		}
+		if !ca.Finals[0].AllFinite() {
+			t.Errorf("CA rows %v produced non-finite values", starts)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"cadycore/internal/dycore"
 	"cadycore/internal/grid"
 	"cadycore/internal/state"
+	"cadycore/internal/tune"
 )
 
 // JobSpec is the submitted description of one job. The zero value of every
@@ -28,8 +29,18 @@ type JobSpec struct {
 	// configuration; "figures" reproduces the paper's figure sweep
 	// (internal/harness) over Ps.
 	Kind string `json:"kind,omitempty"`
-	// Alg is the integrator for run jobs: ca, yz, xy or 3d.
+	// Alg is the integrator for run jobs: ca, yz, xy or 3d. Must be empty
+	// for auto-layout jobs (the planner chooses it).
 	Alg string `json:"alg,omitempty"`
+
+	// Layout selects how the process grid is chosen: "" or "explicit" uses
+	// Alg/PA/PB/PC as given; "auto" defers to the autotuner (internal/tune)
+	// at execution time — the planner picks the scheme, factorization,
+	// worker count and y-row partition for Procs ranks, and the chosen plan
+	// is surfaced in the job status.
+	Layout string `json:"layout,omitempty"`
+	// Procs is the rank budget of an auto-layout job (default 4).
+	Procs int `json:"procs,omitempty"`
 
 	Nx int `json:"nx,omitempty"`
 	Ny int `json:"ny,omitempty"`
@@ -120,6 +131,12 @@ func (sp *JobSpec) Normalize() error {
 		return fmt.Errorf("deadline_sec = %g must be >= 0", sp.DeadlineSec)
 	}
 	if sp.Kind == "figures" {
+		if sp.Layout != "" && sp.Layout != "explicit" {
+			return fmt.Errorf("layout %q is only meaningful for run jobs", sp.Layout)
+		}
+		if sp.Procs != 0 {
+			return fmt.Errorf("procs is only meaningful for run jobs with layout \"auto\"")
+		}
 		if len(sp.Ps) == 0 {
 			sp.Ps = []int{4, 8}
 		}
@@ -130,7 +147,34 @@ func (sp *JobSpec) Normalize() error {
 		}
 		return nil
 	}
-	// Run jobs: algorithm and process grid.
+	// Run jobs: layout selection.
+	switch sp.Layout {
+	case "", "explicit":
+		sp.Layout = "explicit"
+	case "auto":
+		// The process grid is planned at execution time; the submit-time
+		// gate checks only what planning cannot change. The planned spec is
+		// re-validated through Normalize before the run starts.
+		if sp.Alg != "" {
+			return fmt.Errorf("layout \"auto\" plans the algorithm; leave alg empty (got %q)", sp.Alg)
+		}
+		if sp.PA != 0 || sp.PB != 0 || sp.PC != 0 {
+			return fmt.Errorf("layout \"auto\" plans the process grid; leave pa/pb/pc empty")
+		}
+		if sp.Procs == 0 {
+			sp.Procs = 4
+		}
+		if sp.Procs < 1 || sp.Procs > maxRanks {
+			return fmt.Errorf("procs = %d outside [1, %d]", sp.Procs, maxRanks)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown layout %q (want explicit or auto)", sp.Layout)
+	}
+	if sp.Procs != 0 {
+		return fmt.Errorf("procs is only meaningful with layout \"auto\"")
+	}
+	// Explicit layout: algorithm and process grid.
 	if sp.Alg == "" {
 		sp.Alg = "ca"
 	}
@@ -182,11 +226,20 @@ func (sp *JobSpec) Normalize() error {
 	return nil
 }
 
-// setup translates a normalized run spec into a dycore Setup.
-func (sp JobSpec) setup() dycore.Setup {
+// config translates the numeric parameters of a spec into a dycore Config.
+func (sp JobSpec) config() dycore.Config {
 	cfg := dycore.DefaultConfig()
 	cfg.M = sp.M
 	cfg.Dt1, cfg.Dt2 = sp.Dt1, sp.Dt2
+	return cfg
+}
+
+// autoLayout reports whether the job's process grid is planner-chosen.
+func (sp JobSpec) autoLayout() bool { return sp.Layout == "auto" }
+
+// setup translates a normalized explicit run spec into a dycore Setup.
+func (sp JobSpec) setup() dycore.Setup {
+	cfg := sp.config()
 	var a dycore.Algorithm
 	switch sp.Alg {
 	case "ca":
@@ -258,6 +311,10 @@ type Job struct {
 	count   dycore.Counters
 	diags   map[string]float64
 	figures []string // formatted figure tables (figures jobs)
+
+	// plan is the autotuner's decision for auto-layout jobs (set when the
+	// first execution segment plans, reused by resumes).
+	plan *tune.Plan
 }
 
 // JobStatus is the JSON view of a job returned by GET /jobs/{id}.
@@ -282,6 +339,9 @@ type JobStatus struct {
 	Counters    *dycore.Counters   `json:"counters,omitempty"`
 	Diagnostics map[string]float64 `json:"diagnostics,omitempty"`
 	Figures     []string           `json:"figures,omitempty"`
+
+	// Plan is the autotuner's chosen layout for auto-layout jobs.
+	Plan *tune.Plan `json:"plan,omitempty"`
 
 	Spec JobSpec `json:"spec"`
 }
@@ -344,7 +404,25 @@ func (j *Job) Status() JobStatus {
 		}
 	}
 	st.Figures = j.figures
+	if j.plan != nil {
+		p := *j.plan
+		st.Plan = &p
+	}
 	return st
+}
+
+// setPlan records the autotuner's decision.
+func (j *Job) setPlan(p tune.Plan) {
+	j.mu.Lock()
+	j.plan = &p
+	j.mu.Unlock()
+}
+
+// getPlan returns the recorded plan, if any.
+func (j *Job) getPlan() *tune.Plan {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.plan
 }
 
 // setSnapshot records the latest checkpoint (called from the quiesced
@@ -378,6 +456,7 @@ func mergeAgg(a, b comm.Aggregate) comm.Aggregate {
 	for i := range out.BytesByCat {
 		out.BytesByCat[i] += b.BytesByCat[i]
 		out.MsgsByCat[i] += b.MsgsByCat[i]
+		out.CollByCat[i] += b.CollByCat[i]
 		out.CommTimeMax[i] += b.CommTimeMax[i]
 	}
 	out.CompTimeMax += b.CompTimeMax

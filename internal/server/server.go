@@ -21,6 +21,7 @@ import (
 	"cadycore/internal/harness"
 	"cadycore/internal/heldsuarez"
 	"cadycore/internal/state"
+	"cadycore/internal/tune"
 )
 
 // Config sizes the service.
@@ -37,6 +38,10 @@ type Config struct {
 	Dir string
 	// Model is the simulated network cost model (default comm.TianheLike).
 	Model comm.NetModel
+	// Planner chooses layouts for "layout": "auto" jobs. Nil builds a
+	// default planner from Model (analytic profile, short pilots) with the
+	// plan cache under Dir/plans when Dir is set.
+	Planner *tune.Planner
 }
 
 // Submission errors mapped to HTTP statuses by the handlers.
@@ -50,11 +55,12 @@ var (
 // Server is the job service. Create with New, expose via ServeHTTP (it is
 // an http.Handler), stop with Shutdown.
 type Server struct {
-	cfg   Config
-	model comm.NetModel
-	mux   *http.ServeMux
-	met   metrics
-	start time.Time
+	cfg     Config
+	model   comm.NetModel
+	planner *tune.Planner
+	mux     *http.ServeMux
+	met     metrics
+	start   time.Time
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -90,12 +96,24 @@ func New(cfg Config) (*Server, error) {
 	if model.ComputeRate == 0 {
 		model = comm.TianheLike()
 	}
+	planner := cfg.Planner
+	if planner == nil {
+		planner = &tune.Planner{
+			Profile:    tune.ProfileFromModel(model),
+			TopK:       2,
+			PilotSteps: 1,
+		}
+		if cfg.Dir != "" {
+			planner.Cache = tune.NewCache(filepath.Join(cfg.Dir, "plans"))
+		}
+	}
 	s := &Server{
-		cfg:   cfg,
-		model: model,
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.QueueCap),
-		start: time.Now(),
+		cfg:     cfg,
+		model:   model,
+		planner: planner,
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueCap),
+		start:   time.Now(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
@@ -352,7 +370,24 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	g := grid.New(j.Spec.Nx, j.Spec.Ny, j.Spec.Nz)
-	set := j.Spec.setup()
+	var set dycore.Setup
+	if j.Spec.autoLayout() {
+		plan, err := s.planJob(j, g)
+		if err != nil {
+			j.mu.Lock()
+			j.state = JFailed
+			j.errMsg = err.Error()
+			j.resumable = false
+			j.finished = time.Now()
+			j.cancel = nil
+			j.mu.Unlock()
+			s.met.failed.Add(1)
+			return
+		}
+		set = plan.Setup(j.Spec.config())
+	} else {
+		set = j.Spec.setup()
+	}
 
 	var hook dycore.StepHook
 	if j.Spec.heldSuarez() {
@@ -462,6 +497,38 @@ func (s *Server) runFigures(j *Job) {
 	s.met.completed.Add(1)
 }
 
+// planJob resolves the layout of an auto job: reuse the plan recorded by an
+// earlier segment (so resumes keep their decomposition and checkpoints stay
+// coherent), otherwise consult the planner and re-validate its choice
+// through the same Normalize gate explicit submissions pass.
+func (s *Server) planJob(j *Job, g *grid.Grid) (tune.Plan, error) {
+	if p := j.getPlan(); p != nil {
+		return *p, nil
+	}
+	plan, err := s.planner.Plan(g, j.Spec.Procs, j.Spec.config())
+	if err != nil {
+		return tune.Plan{}, fmt.Errorf("autotune: %w", err)
+	}
+	if err := validatePlanned(j.Spec, plan); err != nil {
+		return tune.Plan{}, fmt.Errorf("autotune: planned layout %s invalid: %w", plan, err)
+	}
+	j.setPlan(plan)
+	s.persistMeta(j)
+	return plan, nil
+}
+
+// validatePlanned runs the planner's choice through the explicit-layout
+// validation path (the reject-on-infeasible gate).
+func validatePlanned(sp JobSpec, p tune.Plan) error {
+	v := sp
+	v.Layout = "explicit"
+	v.Procs = 0
+	v.Alg = string(p.Scheme)
+	v.PA, v.PB, v.PC = p.PA, p.PB, 0
+	v.M = p.M
+	return v.Normalize()
+}
+
 // --- persistence -----------------------------------------------------------
 //
 // Layout under cfg.Dir: <id>/spec.json, <id>/meta.json, <id>/snap.ck.
@@ -469,12 +536,13 @@ func (s *Server) runFigures(j *Job) {
 // checkpoint format's own CRC64 catches anything else.
 
 type jobMeta struct {
-	State     JState `json:"state"`
-	StepsDone int    `json:"steps_done"`
-	CkptStep  int    `json:"checkpoint_step"`
-	Resumable bool   `json:"resumable"`
-	Error     string `json:"error,omitempty"`
-	Attempts  int    `json:"attempts"`
+	State     JState     `json:"state"`
+	StepsDone int        `json:"steps_done"`
+	CkptStep  int        `json:"checkpoint_step"`
+	Resumable bool       `json:"resumable"`
+	Error     string     `json:"error,omitempty"`
+	Attempts  int        `json:"attempts"`
+	Plan      *tune.Plan `json:"plan,omitempty"`
 }
 
 func (s *Server) jobDir(j *Job) string { return filepath.Join(s.cfg.Dir, j.ID) }
@@ -508,6 +576,7 @@ func (s *Server) persistMetaLocked(j *Job) {
 		Resumable: j.resumable,
 		Error:     j.errMsg,
 		Attempts:  j.attempts,
+		Plan:      j.plan,
 	}
 	b, _ := json.MarshalIndent(m, "", "  ")
 	writeFileAtomic(filepath.Join(s.jobDir(j), "meta.json"), b)
@@ -602,6 +671,7 @@ func (s *Server) recover() error {
 				j.resumable = m.Resumable
 				j.errMsg = m.Error
 				j.attempts = m.Attempts
+				j.plan = m.Plan
 			}
 		}
 		if f, err := os.Open(filepath.Join(dir, "snap.ck")); err == nil {

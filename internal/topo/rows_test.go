@@ -1,0 +1,98 @@
+package topo
+
+import (
+	"testing"
+
+	"cadycore/internal/comm"
+	"cadycore/internal/grid"
+)
+
+func TestRowStartsUniformDefault(t *testing.T) {
+	g := grid.New(16, 10, 4)
+	w := comm.NewWorld(4, comm.Zero())
+	w.Run(func(c *comm.Comm) {
+		tp := New(c, g, 1, 4, 1, 1, 2, 0)
+		starts := tp.RowStarts()
+		want := grid.UniformRowStarts(10, 4)
+		for i := range want {
+			if starts[i] != want[i] {
+				t.Errorf("RowStarts = %v, want %v", starts, want)
+				return
+			}
+		}
+	})
+}
+
+func TestNewWithRowsBlocks(t *testing.T) {
+	g := grid.New(16, 10, 4)
+	rows := []int{0, 2, 5, 10}
+	w := comm.NewWorld(3, comm.Zero())
+	w.Run(func(c *comm.Comm) {
+		tp := NewWithRows(c, g, 1, 3, 1, 1, 2, 0, rows)
+		if tp.Block.J0 != rows[tp.Cy] || tp.Block.J1 != rows[tp.Cy+1] {
+			t.Errorf("rank %d block rows [%d,%d), want [%d,%d)",
+				c.Rank(), tp.Block.J0, tp.Block.J1, rows[tp.Cy], rows[tp.Cy+1])
+		}
+		// BlockOf must agree with every rank's own block.
+		for r := 0; r < c.Size(); r++ {
+			b := tp.BlockOf(r)
+			cy := (r / tp.Px) % tp.Py
+			if b.J0 != rows[cy] || b.J1 != rows[cy+1] {
+				t.Errorf("BlockOf(%d) rows [%d,%d), want [%d,%d)", r, b.J0, b.J1, rows[cy], rows[cy+1])
+			}
+		}
+	})
+}
+
+func TestRowWindow(t *testing.T) {
+	g := grid.New(16, 10, 4)
+	for _, rows := range [][]int{nil, {0, 2, 5, 10}} {
+		py := 3
+		w := comm.NewWorld(py, comm.Zero())
+		w.Run(func(c *comm.Comm) {
+			tp := NewWithRows(c, g, 1, py, 1, 1, 2, 0, rows)
+			starts := tp.RowStarts()
+			for j := 0; j < g.Ny; j++ {
+				lo, hi := tp.RowWindow(j)
+				// The window must be an owned range containing j.
+				if j < lo || j >= hi {
+					t.Fatalf("rows %v: RowWindow(%d) = [%d,%d) does not contain j", rows, j, lo, hi)
+				}
+				found := false
+				for cy := 0; cy < py; cy++ {
+					if starts[cy] == lo && starts[cy+1] == hi {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("rows %v: RowWindow(%d) = [%d,%d) is not a process row range %v", rows, j, lo, hi, starts)
+				}
+			}
+		})
+	}
+}
+
+func TestNewWithRowsValidates(t *testing.T) {
+	g := grid.New(16, 10, 4)
+	bad := [][]int{
+		{0, 5},        // wrong length for py=3
+		{1, 4, 7, 10}, // does not start at 0
+		{0, 4, 7, 9},  // does not end at Ny
+		{0, 7, 4, 10}, // not increasing
+		{0, 4, 4, 10}, // empty chunk
+	}
+	for _, rows := range bad {
+		rows := rows
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rowStarts %v: expected panic", rows)
+				}
+			}()
+			w := comm.NewWorld(3, comm.Zero())
+			w.Run(func(c *comm.Comm) {
+				NewWithRows(c, g, 1, 3, 1, 1, 2, 0, rows)
+			})
+		}()
+	}
+}

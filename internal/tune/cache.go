@@ -1,0 +1,64 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is the on-disk plan memo: one JSON file per (mesh, procs, config,
+// profile) key, written atomically (temp + rename) so concurrent planners —
+// multiple jobs in the service, or parallel cadytune invocations sharing a
+// directory — never read a torn plan and last-writer-wins is safe.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed at first Put) a plan cache directory.
+func NewCache(dir string) *Cache { return &Cache{dir: dir} }
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its file. Keys are produced by PlanKey and are already
+// filesystem-safe.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the memoized plan for the key, if present and well-formed.
+func (c *Cache) Get(key string) (Plan, bool) {
+	if c == nil {
+		return Plan{}, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Plan{}, false
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil || p.Version != PlanVersion {
+		return Plan{}, false
+	}
+	return p, true
+}
+
+// Put memoizes a plan under the key.
+func (c *Cache) Put(key string, p Plan) error {
+	if c == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tune: marshal plan: %w", err)
+	}
+	data = append(data, '\n')
+	return writeFileAtomic(c.path(key), data)
+}
+
+// PlanKey builds the cache key of a planning request. Everything the plan
+// depends on is in the key: mesh extents, rank budget, the nonlinear
+// iteration count and worker cap of the request, and the profile hash.
+func PlanKey(nx, ny, nz, procs, m, maxWorkers int, profileHash string) string {
+	return fmt.Sprintf("plan-%dx%dx%d-p%d-m%d-w%d-%s", nx, ny, nz, procs, m, maxWorkers, profileHash)
+}

@@ -1,0 +1,133 @@
+package tune
+
+import (
+	"math"
+
+	"cadycore/internal/dycore"
+	"cadycore/internal/grid"
+)
+
+// Estimate is the analytic cost prediction of one candidate: seconds per
+// step, split into compute and communication, maximized over ranks — the
+// §5.3 W/S expressions with calibrated constants plus the latitude-weighted
+// filter term the Θ forms drop.
+type Estimate struct {
+	Candidate Candidate
+	// Comp and Comm are the busiest rank's per-step compute and
+	// communication seconds; Total = Comp + Comm of that rank.
+	Comp, Comm, Total float64
+}
+
+// rowCost is the work of one filtered row transform in point-equivalents.
+func rowCost(nx int) float64 {
+	if nx < 2 {
+		return 1
+	}
+	return float64(nx) * math.Log2(float64(nx))
+}
+
+// workerEff is the parallel efficiency assumed for intra-rank tiling; the
+// pilot stage measures the real value, this only ranks candidates.
+const workerEff = 0.85
+
+// fieldsPerExchange approximates the state components a halo exchange
+// carries (U, V, Φ as 3-D fields plus the surface pressure).
+const fieldsPerExchange = 4
+
+// Evaluate prices one candidate analytically. All terms are per step
+// (K = 1); only relative order matters for planning, but the scale is real
+// seconds so predictions are comparable with pilot measurements.
+func Evaluate(g *grid.Grid, cfg dycore.Config, prof Profile, c Candidate) Estimate {
+	px, py, pz := 1, c.PA, c.PB
+	if c.Scheme == SchemeXY {
+		px, py, pz = c.PA, c.PB, 1
+	}
+	starts := c.RowStarts
+	if starts == nil {
+		starts = grid.UniformRowStarts(g.Ny, py)
+	}
+	active := g.PolarRows(cfg.FilterCutoffDeg)
+	cal := prof.Calib()
+	k := prof.Kernels
+	m := float64(c.M)
+
+	// Per-step communication round counts (the S terms of §5.3, split by
+	// kind): the CA algorithm does 2 exchange rounds and 2M z-collectives;
+	// the originals 3M+4 exchanges plus 3M z-collectives (YZ) or 3M+3
+	// filter transposes (XY).
+	var nEx, nColl, nFilt float64
+	var hy, hz int
+	switch c.Scheme {
+	case SchemeCA:
+		nEx, nColl = 2, 2*m
+		_, hy, hz = dycore.CommAvoidHalo(c.M)
+	case SchemeYZ:
+		nEx, nColl = 3*m+4, 3*m
+		_, hy, hz = dycore.BaselineHalo()
+	default:
+		nEx, nFilt = 3*m+4, 3*m+3
+		_, hy, hz = dycore.BaselineHalo()
+	}
+
+	worst := Estimate{Candidate: c}
+	nxl := g.Nx / px
+	layers := g.Nz / pz
+	for cy := 0; cy < py; cy++ {
+		rows := starts[cy+1] - starts[cy]
+		points := float64(nxl * rows * layers)
+
+		// Compute: stencil kernels plus filter work on this rank's active
+		// rows, divided by the effective intra-rank parallelism.
+		filtRows := 0
+		for j := starts[cy]; j < starts[cy+1]; j++ {
+			if active[j] {
+				filtRows++
+			}
+		}
+		comp := points * (3*m/k.Adapt + 3/k.Advect + 1/k.Smooth + (2*m+1)/k.CSum)
+		apps := (3*m + 3) * 3 * float64(layers)
+		comp += apps * float64(filtRows) * rowCost(nxl) / k.FilterRow
+		if c.Workers > 1 {
+			eff := math.Min(float64(c.Workers), float64(layers))
+			if eff < 1 {
+				eff = 1
+			}
+			comp /= 1 + (eff-1)*workerEff
+		}
+
+		// Halo exchange: nEx rounds; each moves the y faces (2·hy·nxl·layers)
+		// and z faces (hz·nxl·rows; the deep z halo is one-sided) of
+		// fieldsPerExchange components.
+		yFace := float64(2*hy*nxl*layers) * boolF(py > 1)
+		zFace := float64(hz*nxl*rows) * boolF(pz > 1)
+		xFace := float64(2*3*rows*layers) * boolF(px > 1)
+		exBytes := 8 * fieldsPerExchange * (yFace + zFace + xFace)
+		comm := nEx * (cal.Alpha + cal.Beta*exBytes)
+
+		// z-summation collective (Theorem 4.2 shape): an allreduce of the
+		// rank's nxl·rows plane costs ~2 plane transfers times log pz.
+		if nColl > 0 && pz > 1 {
+			plane := float64(nxl * rows)
+			comm += nColl * (cal.Alpha*math.Ceil(math.Log2(float64(pz))) +
+				cal.Beta*8*2*plane*math.Log2(float64(pz)))
+		}
+		// Distributed-filter transposes (Theorem 4.1 shape): two all-to-all
+		// passes over the rank's share per filtered tendency.
+		if nFilt > 0 && px > 1 {
+			comm += nFilt * (cal.Alpha*2*math.Ceil(math.Log2(float64(px))) +
+				cal.Beta*8*2*points*math.Log2(float64(px)))
+		}
+
+		if t := comp + comm; t > worst.Total {
+			worst.Comp, worst.Comm, worst.Total = comp, comm, t
+		}
+	}
+	return worst
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
