@@ -6,6 +6,13 @@
 // Usage:
 //
 //	cadyserved [-addr :8080] [-workers N] [-queue N] [-dir DIR]
+//	           [-chaos plan.json] [-max-restarts N]
+//
+// With -chaos, the JSON fault plan (see internal/fault: rank crashes at
+// given steps, stragglers, message jitter, transient send errors) is
+// injected into every run job; jobs whose ranks die are restarted
+// automatically from their latest checkpoint, up to -max-restarts times per
+// job with exponential backoff.
 //
 // Endpoints:
 //
@@ -33,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"cadycore/internal/fault"
 	"cadycore/internal/server"
 )
 
@@ -42,9 +50,25 @@ func main() {
 	queue := flag.Int("queue", 16, "admission queue bound")
 	dir := flag.String("dir", "", "persistence directory for specs and checkpoints (empty = in-memory)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for jobs to checkpoint on shutdown")
+	chaos := flag.String("chaos", "", "fault-injection plan (JSON) applied to every run job")
+	maxRestarts := flag.Int("max-restarts", 0, "automatic restarts per crashed job (0 = default policy of 3)")
 	flag.Parse()
 
-	srv, err := server.New(server.Config{Workers: *workers, QueueCap: *queue, Dir: *dir})
+	cfg := server.Config{
+		Workers:  *workers,
+		QueueCap: *queue,
+		Dir:      *dir,
+		Restart:  server.RestartPolicy{MaxRestarts: *maxRestarts},
+	}
+	if *chaos != "" {
+		plan, err := fault.Load(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cadyserved:", err)
+			os.Exit(1)
+		}
+		cfg.Chaos = &plan
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cadyserved:", err)
 		os.Exit(1)
@@ -56,6 +80,9 @@ func main() {
 	fmt.Printf("cadyserved listening on %s (%d workers, queue %d", *addr, *workers, *queue)
 	if *dir != "" {
 		fmt.Printf(", dir %s", *dir)
+	}
+	if *chaos != "" {
+		fmt.Printf(", chaos %s", *chaos)
 	}
 	fmt.Println(")")
 

@@ -8,12 +8,19 @@
 //	dycore [-alg ca|yz|xy] [-nx N -ny N -nz N] [-pa N -pb N] [-m M]
 //	       [-steps K] [-dt1 s -dt2 s] [-hs] [-exactc] [-nooverlap] [-nofuse]
 //	dycore -auto [-procs P] [-profile machine.json] [...]
+//	dycore -chaos plan.json [-max-restarts N] [-save ck -save-every K] [...]
 //
 // For -alg yz/ca the process grid is p_y × p_z = pa × pb; for -alg xy it is
 // p_x × p_y. With -auto the autotuner (internal/tune) chooses the algorithm,
 // process grid, worker count and y-row partition for -procs ranks instead;
 // -profile supplies a calibrated machine profile (cadytune calibrate),
 // otherwise the analytic Tianhe-like profile is used.
+//
+// With -chaos, the JSON fault plan (internal/fault) is injected into the
+// run: stragglers, jitter and send errors perturb the simulated clock, and
+// an injected rank crash aborts the run, which then restarts from the
+// latest -save/-save-every checkpoint (from the initial state when none
+// exists), up to -max-restarts times.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"cadycore/internal/comm"
 	"cadycore/internal/diag"
 	"cadycore/internal/dycore"
+	"cadycore/internal/fault"
 	"cadycore/internal/grid"
 	"cadycore/internal/heldsuarez"
 	"cadycore/internal/state"
@@ -55,6 +63,8 @@ func main() {
 	auto := flag.Bool("auto", false, "let the autotuner choose algorithm, process grid and row partition")
 	procs := flag.Int("procs", 0, "rank budget for -auto (default pa*pb)")
 	profilePath := flag.String("profile", "", "machine profile for -auto (default: analytic Tianhe-like profile)")
+	chaosPath := flag.String("chaos", "", "fault-injection plan (JSON); crashed runs restart from the latest checkpoint")
+	maxRestarts := flag.Int("max-restarts", 3, "restarts after an injected rank crash (use -save -save-every to keep progress)")
 	flag.Parse()
 
 	if *saveEvery < 0 {
@@ -138,22 +148,72 @@ func main() {
 	fmt.Printf("%s on %s, process grid %dx%d (%d ranks), M=%d, %d steps\n",
 		set.Alg, g, set.PA, set.PB, set.Procs(), set.Cfg.M, *steps)
 
-	opts := dycore.RunOpts{Hook: hook, Traced: *timeline}
-	if *saveEvery > 0 {
-		// The same snapshot cadence the job service uses: the runner
-		// quiesces all ranks at the boundary, the callback gathers and
-		// writes atomically (temp + rename) so a crash mid-write never
-		// corrupts the previous checkpoint.
-		opts.SnapshotEvery = *saveEvery
-		opts.Snapshot = func(done int, sts []*state.State) {
-			if err := writeCheckpoint(*saveFile, checkpoint.Gather(g, sts)); err != nil {
-				fmt.Fprintln(os.Stderr, "save-every:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("checkpoint written to %s at step %d\n", *saveFile, done)
+	var inj *fault.Injector
+	if *chaosPath != "" {
+		plan, err := fault.Load(*chaosPath)
+		if err == nil {
+			err = plan.Validate(set.Procs())
 		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		inj = fault.New(plan)
 	}
-	res, rec := dycore.RunWithOpts(set, g, comm.TianheLike(), init, *steps, opts)
+
+	// lastSnap/lastStep track the newest checkpoint in memory so an injected
+	// crash can restart from it (the file written by -save-every is its
+	// durable twin).
+	var lastSnap *checkpoint.Global
+	lastStep := 0
+	segBase := 0
+	segInit := init
+	segResume := *loadFile != "" // checkpoint states owe deferred smoothing
+	var res dycore.RunResult
+	var rec *comm.Recorder
+	for attempt := 0; ; attempt++ {
+		base := segBase
+		opts := dycore.RunOpts{Hook: hook, Traced: *timeline, Resume: segResume}
+		if *saveEvery > 0 {
+			// The same snapshot cadence the job service uses: the runner
+			// quiesces all ranks at the boundary, the callback gathers and
+			// writes atomically (temp + fsync + rename) so a crash mid-write
+			// never corrupts the previous checkpoint.
+			opts.SnapshotEvery = *saveEvery
+			opts.Snapshot = func(done int, sts []*state.State) {
+				snap := checkpoint.Gather(g, sts)
+				lastSnap, lastStep = snap, base+done
+				if err := writeCheckpoint(*saveFile, snap); err != nil {
+					fmt.Fprintln(os.Stderr, "save-every:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("checkpoint written to %s at step %d\n", *saveFile, base+done)
+			}
+		}
+		if inj != nil {
+			opts.Faults = inj.CommFaults(set.Procs())
+			opts.CrashAt = inj.CrashFunc(base)
+		}
+		res, rec = dycore.RunWithOpts(set, g, comm.TianheLike(), segInit, *steps-base, opts)
+		if res.Abort == nil {
+			break
+		}
+		fmt.Printf("chaos: rank %d died after step %d\n", res.Abort.Rank, segBase+res.Abort.Step)
+		if attempt >= *maxRestarts {
+			fmt.Fprintf(os.Stderr, "chaos: restart budget %d exhausted\n", *maxRestarts)
+			os.Exit(1)
+		}
+		if lastSnap != nil {
+			segBase = lastStep
+			segInit = lastSnap.InitFunc()
+			segResume = true
+		} else {
+			segBase = 0
+			segInit = init
+			segResume = *loadFile != ""
+		}
+		fmt.Printf("chaos: restarting from step %d (restart %d/%d)\n", segBase, attempt+1, *maxRestarts)
+	}
 
 	if *saveFile != "" {
 		if err := writeCheckpoint(*saveFile, checkpoint.Gather(g, res.Finals)); err != nil {
@@ -194,8 +254,9 @@ func main() {
 		diag.KineticEnergy(g, res.Finals), diag.AvailableEnergy(g, res.Finals))
 }
 
-// writeCheckpoint writes the snapshot atomically: temp file + rename, so an
-// interrupted write leaves the previous checkpoint intact.
+// writeCheckpoint writes the snapshot durably: temp file + fsync + rename,
+// so an interrupted or unflushed write leaves the previous checkpoint
+// intact.
 func writeCheckpoint(path string, snap *checkpoint.Global) error {
 	tmp := path + ".tmp"
 	fh, err := os.Create(tmp)
@@ -203,6 +264,11 @@ func writeCheckpoint(path string, snap *checkpoint.Global) error {
 		return err
 	}
 	if err := snap.Write(fh); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Sync(); err != nil {
 		fh.Close()
 		os.Remove(tmp)
 		return err

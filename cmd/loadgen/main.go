@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	loadgen [-addr host:port] [-n 24] [-c 4] [-steps 2] [-auto] [-o BENCH_service.json]
+//	loadgen [-addr host:port] [-n 24] [-c 4] [-steps 2] [-auto]
+//	        [-ckpt-every k] [-max-restarts r] [-o BENCH_service.json]
 //
 // With -auto every job is submitted as {"layout": "auto", "procs": pa*pb}:
 // the service's planner (internal/tune) chooses the algorithm, process grid
@@ -26,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,15 +36,20 @@ import (
 )
 
 type benchReport struct {
-	Target        string  `json:"target"`
-	Jobs          int     `json:"jobs"`
-	Clients       int     `json:"clients"`
-	Workers       int     `json:"workers,omitempty"` // self-serve mode
-	QueueCap      int     `json:"queue_cap,omitempty"`
-	Steps         int     `json:"steps_per_job"`
-	Auto          bool    `json:"auto_layout,omitempty"`
-	Completed     int     `json:"completed"`
-	Failed        int     `json:"failed"`
+	Target    string `json:"target"`
+	Jobs      int    `json:"jobs"`
+	Clients   int    `json:"clients"`
+	Workers   int    `json:"workers,omitempty"` // self-serve mode
+	QueueCap  int    `json:"queue_cap,omitempty"`
+	Steps     int    `json:"steps_per_job"`
+	Auto      bool   `json:"auto_layout,omitempty"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	// Retries counts transient backpressure responses (429/503) the client
+	// waited out per the server's Retry-After header before resubmitting;
+	// Rejected counts submissions that gave up after exhausting retries.
+	// Before this distinction every retried 429 was reported as a reject.
+	Retries       int64   `json:"backpressure_retries"`
 	Rejected      int64   `json:"rejected_submits"`
 	WallSec       float64 `json:"wall_sec"`
 	ThroughputJPS float64 `json:"throughput_jobs_per_sec"`
@@ -68,6 +75,8 @@ func main() {
 	m := flag.Int("m", 2, "nonlinear iterations per step")
 	steps := flag.Int("steps", 2, "steps per job")
 	auto := flag.Bool("auto", false, "submit auto-layout jobs (planner picks alg/pa/pb for pa*pb ranks)")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint jobs every k steps (0: only stop-triggered snapshots)")
+	maxRestarts := flag.Int("max-restarts", -1, "per-job automatic restart budget (<0: server default)")
 	out := flag.String("o", "BENCH_service.json", "output JSON path")
 	flag.Parse()
 
@@ -103,12 +112,19 @@ func main() {
 		}
 		rep.Auto = true
 	}
+	if *ckptEvery > 0 {
+		spec["checkpoint_every"] = *ckptEvery
+	}
+	if *maxRestarts >= 0 {
+		spec["max_restarts"] = *maxRestarts
+	}
 	specB, _ := json.Marshal(spec)
 
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
 		failed    int
+		retries   atomic.Int64
 		rejected  atomic.Int64
 		remaining atomic.Int64
 	)
@@ -123,7 +139,7 @@ func main() {
 			defer wg.Done()
 			for remaining.Add(-1) >= 0 {
 				t0 := time.Now()
-				id, ok := submit(client, rep.Target, specB, &rejected)
+				id, ok := submit(client, rep.Target, specB, &retries, &rejected)
 				if !ok {
 					mu.Lock()
 					failed++
@@ -146,6 +162,7 @@ func main() {
 	rep.WallSec = time.Since(start).Seconds()
 	rep.Completed = len(latencies)
 	rep.Failed = failed
+	rep.Retries = retries.Load()
 	rep.Rejected = rejected.Load()
 	if rep.WallSec > 0 {
 		rep.ThroughputJPS = float64(rep.Completed) / rep.WallSec
@@ -169,16 +186,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("completed %d/%d jobs in %.2fs (%.1f jobs/s), rejected submits %d, p50 %.0fms p99 %.0fms -> %s\n",
-		rep.Completed, rep.Jobs, rep.WallSec, rep.ThroughputJPS, rep.Rejected, rep.P50Ms, rep.P99Ms, *out)
+	fmt.Printf("completed %d/%d jobs in %.2fs (%.1f jobs/s), backpressure retries %d, rejected submits %d, p50 %.0fms p99 %.0fms -> %s\n",
+		rep.Completed, rep.Jobs, rep.WallSec, rep.ThroughputJPS, rep.Retries, rep.Rejected, rep.P50Ms, rep.P99Ms, *out)
 	if rep.Completed < rep.Jobs {
 		os.Exit(1)
 	}
 }
 
 // submit posts the job, retrying transient backpressure (429/503) with the
-// closed-loop client parked — exactly what admission control is for.
-func submit(client *http.Client, base string, spec []byte, rejected *atomic.Int64) (string, bool) {
+// closed-loop client parked for the server's advertised Retry-After —
+// exactly what admission control is for. Retried responses count as
+// backpressure retries; only a submission that gives up counts as rejected.
+func submit(client *http.Client, base string, spec []byte, retries, rejected *atomic.Int64) (string, bool) {
 	for attempt := 0; attempt < 2000; attempt++ {
 		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(spec))
 		if err != nil {
@@ -193,15 +212,28 @@ func submit(client *http.Client, base string, spec []byte, rejected *atomic.Int6
 			resp.Body.Close()
 			return st.ID, err == nil && st.ID != ""
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			wait := retryAfter(resp, 50*time.Millisecond)
 			resp.Body.Close()
-			rejected.Add(1)
-			time.Sleep(10 * time.Millisecond)
+			retries.Add(1)
+			time.Sleep(wait)
 		default:
 			resp.Body.Close()
 			return "", false
 		}
 	}
+	rejected.Add(1)
 	return "", false
+}
+
+// retryAfter parses the delay-seconds form of the Retry-After header,
+// falling back when it is absent or malformed.
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
 }
 
 func poll(client *http.Client, base, id string) string {

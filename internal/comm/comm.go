@@ -9,10 +9,11 @@ import (
 // NewWorld, then either call Run (which spawns one goroutine per rank) or
 // obtain the per-rank handles with Rank and schedule them yourself.
 type World struct {
-	size  int
-	model NetModel
-	eps   []*endpoint
-	comms []*Comm
+	size   int
+	model  NetModel
+	eps    []*endpoint
+	comms  []*Comm
+	faults *Faults // nil = fault-free (the default); see SetFaults
 }
 
 // NewWorld creates a world of p ranks with the given cost model.
@@ -47,23 +48,28 @@ func (w *World) Size() int { return w.size }
 func (w *World) Rank(r int) *Comm { return w.comms[r] }
 
 // Run executes fn on every rank concurrently and returns when all ranks have
-// finished. A panic on any rank is re-raised on the caller (with the rank
-// prepended) after the other ranks have been given the chance to finish or
-// deadlock-free ranks have drained; to keep failures debuggable the first
-// panic wins.
+// finished. A panic on any rank is re-raised on the caller as a RankPanic
+// (preserving the original value) after the other ranks have been given the
+// chance to finish or deadlock-free ranks have drained; to keep failures
+// debuggable the first panic wins, except that an injected-fault panic (a
+// value with an InjectedFault method, such as dycore.RankFailure) displaces
+// the receive-poison panics it cascades into.
 func (w *World) Run(fn func(c *Comm)) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstPanic any
+	var firstInjected bool
 	wg.Add(w.size)
 	for r := 0; r < w.size; r++ {
 		go func(c *Comm) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					_, injected := p.(injectedFault)
 					mu.Lock()
-					if firstPanic == nil {
-						firstPanic = fmt.Sprintf("rank %d: %v", c.rank, p)
+					if firstPanic == nil || (injected && !firstInjected) {
+						firstPanic = RankPanic{Rank: c.rank, Val: p}
+						firstInjected = injected
 					}
 					mu.Unlock()
 					// Unblock peers that may be waiting on this rank.
@@ -146,6 +152,11 @@ func (c *Comm) myWorldRank() int {
 // stencil update of one mesh point ≈ 1).
 func (c *Comm) Compute(work float64) {
 	dt := work / c.world.model.ComputeRate
+	if f := c.world.faults; f != nil {
+		// Straggler injection: scale the rank's effective compute rate.
+		// (Scale 1 is a bitwise no-op, so an inert profile changes nothing.)
+		dt *= f.computeScale(c.myWorldRank())
+	}
 	if c.stats.trace != nil {
 		//cadyvet:allow tracing is opt-in (RunOpts.Traced); the trace buffer never grows on the steady-state benchmark path
 		c.stats.trace.record(Event{Rank: c.stats.traceRank, Kind: EvCompute, T0: c.stats.Clock, T1: c.stats.Clock + dt})

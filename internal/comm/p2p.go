@@ -94,6 +94,17 @@ func (c *Comm) sendInternal(dst, tag int, data []float64) {
 	m := c.world.model
 	c.stats.countSend(bytes)
 	c.stats.addCommTime(m.SendOverhead)
+	var extraDelay float64
+	if f := c.world.faults; f != nil {
+		// Fault injection: transient send errors cost the sender simulated
+		// retransmit time (advancing its clock before the payload departs);
+		// jitter delays only the payload's availability at the receiver.
+		delay, senderCost := f.sendFault(c.myWorldRank())
+		if senderCost > 0 {
+			c.stats.addCommTime(senderCost)
+		}
+		extraDelay = delay
+	}
 	payload := make([]float64, len(data))
 	copy(payload, data)
 	c.world.eps[c.worldRank(dst)].deliver(message{
@@ -101,7 +112,7 @@ func (c *Comm) sendInternal(dst, tag int, data []float64) {
 		src:     c.rank,
 		tag:     tag,
 		data:    payload,
-		availAt: c.stats.Clock + m.msgCost(bytes),
+		availAt: c.stats.Clock + m.msgCost(bytes) + extraDelay,
 	})
 }
 

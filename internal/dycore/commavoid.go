@@ -43,6 +43,9 @@ type CommAvoid struct {
 
 	depthY, depthZ int // valid halo depth after the adaptation exchange (= 3M)
 	finalized      bool
+	// resumed marks ξ as a mid-trajectory restart state whose deferred
+	// smoothing is still pending (see SetResumedState).
+	resumed bool
 
 	// availYFn is availY bound once at construction: passing a pre-bound
 	// func value into the smoothers keeps the per-step path free of
@@ -123,6 +126,19 @@ func (ca *CommAvoid) SetState(init *state.State) {
 	ca.updateSurface(ca.xi)
 	ca.evalC(ca.xi, ca.cLast, ca.region(1))
 	ca.finalized = false
+	ca.resumed = false
+}
+
+// SetResumedState is SetState for a mid-trajectory checkpoint. Unlike an
+// initial condition, a checkpointed ξ(k) still owes the former smoothing
+// that Algorithm 2 defers into step k+1 (or Finalize); a plain SetState
+// would silently drop it, shifting the whole resumed trajectory by one
+// smoothing application (~1e-3 relative — far above the ~1e-6 the lagged-Ĉ
+// bootstrap alone costs). The flag makes the first resumed step smooth ξ
+// exactly like the uninterrupted run's step k+1 would have.
+func (ca *CommAvoid) SetResumedState(init *state.State) {
+	ca.SetState(init)
+	ca.resumed = true
 }
 
 // availY reports the former-smoothing row window of the rank owning global
@@ -171,9 +187,11 @@ func (ca *CommAvoid) expandAsym(yLo, yHi, zLo, zHi int) field.Rect {
 }
 
 // fusedSmoothing reports whether the former/later smoothing split is in
-// effect this step.
+// effect this step: every step but the very first, because the initial
+// condition owes no smoothing — unlike a resumed checkpoint state, which
+// does (SetResumedState).
 func (ca *CommAvoid) fusedSmoothing() bool {
-	return !ca.cfg.NoFusedSmoothing && ca.n.Steps >= 1
+	return !ca.cfg.NoFusedSmoothing && (ca.n.Steps >= 1 || ca.resumed)
 }
 
 // Step advances one time step of Algorithm 2.
@@ -405,7 +423,7 @@ func (ca *CommAvoid) plainSmooth() {
 // Finalize applies the trailing smoothing of Algorithm 2 line 30 (deferred
 // from the last step), making Xi() comparable with the baseline's output.
 func (ca *CommAvoid) Finalize() {
-	if ca.finalized || ca.cfg.NoFusedSmoothing || ca.n.Steps == 0 {
+	if ca.finalized || ca.cfg.NoFusedSmoothing || (ca.n.Steps == 0 && !ca.resumed) {
 		ca.finalized = true
 		return
 	}

@@ -3,6 +3,7 @@ package dycore
 import (
 	"sync"
 
+	"cadycore/internal/comm"
 	"cadycore/internal/state"
 )
 
@@ -36,8 +37,26 @@ type RunOpts struct {
 	// SnapshotEvery is the cadence of Snapshot in steps; <= 0 means only
 	// stop-triggered snapshots.
 	SnapshotEvery int
+	// Resume marks the initial state as a mid-trajectory checkpoint rather
+	// than a fresh initial condition: integrators implementing ResumeSetter
+	// (the comm-avoiding scheme) then apply the deferred smoothing the
+	// checkpointed state still owes, instead of silently dropping it.
+	Resume bool
 	// Traced enables per-rank event tracing (see RunTraced).
 	Traced bool
+	// Faults, if non-nil, installs a fault-injection profile (stragglers,
+	// message jitter, transient send errors) on the world before the run
+	// starts; see comm.SetFaults. Nil keeps the run bitwise identical to a
+	// fault-free one.
+	Faults *comm.Faults
+	// CrashAt, if non-nil, is consulted on every rank after each completed
+	// step (with the 1-based completed-step count); returning true kills
+	// that rank with a RankFailure panic, which surfaces to the caller as a
+	// typed abort in RunResult.Abort instead of a panic. The crash fires
+	// before the step-boundary barrier, so no snapshot is taken at the
+	// crash boundary — recovery is from the latest periodic checkpoint,
+	// like a real mid-step rank death.
+	CrashAt func(rank, done int) bool
 }
 
 // controlled reports whether the step-boundary barrier is needed.

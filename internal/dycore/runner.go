@@ -107,6 +107,17 @@ type StateSetter interface {
 	SetState(*state.State)
 }
 
+// ResumeSetter is implemented by integrators whose mid-trajectory state
+// carries pending work beyond ξ itself — the comm-avoiding scheme's
+// deferred smoothing. Restoring a checkpoint through it reproduces the
+// uninterrupted trajectory; plain SetState treats the state as a fresh
+// initial condition and drops the pending smoothing. Integrators without
+// that distinction (the baselines smooth within Step) only implement
+// StateSetter, and SetState is used for both cases.
+type ResumeSetter interface {
+	SetResumedState(*state.State)
+}
+
 // InitFunc fills a rank's initial state from pointwise profiles.
 type InitFunc func(g *grid.Grid, st *state.State)
 
@@ -117,9 +128,33 @@ type RunResult struct {
 	Count  Counters
 	Finals []*state.State // per-rank final states (rank order)
 	// StepsDone is the number of steps actually executed: equal to the
-	// requested count unless RunOpts.ShouldStop ended the run early.
+	// requested count unless RunOpts.ShouldStop ended the run early, or —
+	// after an injected crash (Abort non-nil) — the minimum step count any
+	// rank completed.
 	StepsDone int
+	// Abort, when non-nil, reports that fault injection killed a rank (see
+	// RunOpts.CrashAt): the run ended early, Finals is nil, and the caller
+	// should restart from its latest checkpoint to make progress.
+	Abort *RankFailure
 }
+
+// RankFailure is the typed abort raised when fault injection kills a rank
+// (RunOpts.CrashAt). It implements error, and marks itself as an injected
+// fault so comm.World.Run reports it — rather than one of the receive-poison
+// panics the death cascades into on surviving ranks — as the run's cause of
+// death.
+type RankFailure struct {
+	Rank int // world rank that was killed
+	Step int // steps the rank had completed when it died
+}
+
+// Error implements error.
+func (e *RankFailure) Error() string {
+	return fmt.Sprintf("dycore: rank %d killed by fault injection after step %d", e.Rank, e.Step)
+}
+
+// InjectedFault marks the panic value as deliberate fault injection.
+func (e *RankFailure) InjectedFault() {}
 
 // StepHook runs on each rank after every Step, on that rank's state (owned
 // region). It is how idealized physics like the Held–Suarez forcing couples
@@ -156,6 +191,9 @@ func RunWithOpts(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, step
 func runOnWorld(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps int, opts RunOpts) (RunResult, *comm.Recorder) {
 	p := s.Procs()
 	w := comm.NewWorld(p, model)
+	if opts.Faults != nil {
+		w.SetFaults(opts.Faults)
+	}
 	var rec *comm.Recorder
 	if opts.Traced {
 		rec = w.EnableTrace()
@@ -168,39 +206,73 @@ func runOnWorld(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps
 	finals := make([]*state.State, p)
 	counts := make([]Counters, p)
 	done := make([]int, p)
-	w.Run(func(c *comm.Comm) {
-		if ctl != nil {
-			// A panicking rank must release peers parked on the step
-			// barrier before the panic propagates to World.Run.
-			defer func() {
-				if r := recover(); r != nil {
-					ctl.abort()
-					panic(r)
+	var abort *RankFailure
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			// An injected rank death is an expected outcome, not a bug:
+			// convert it into a typed abort. Anything else keeps panicking.
+			if rp, ok := r.(comm.RankPanic); ok {
+				if rf, ok := rp.Val.(*RankFailure); ok {
+					abort = rf
+					return
 				}
-			}()
-		}
-		tp, ig := s.Build(c, g)
-		st := state.New(tp.Block)
-		init(g, st)
-		ig.(StateSetter).SetState(st)
-		// Setup and bootstrap (communicator splits, the initial exchange
-		// and Ĉ) are one-time initialization: exclude them from the
-		// measured statistics, like the paper's timings do.
-		c.ResetStats()
-		for k := 0; k < steps; k++ {
-			ig.Step()
-			if hook != nil {
-				hook(g, ig.Xi(), k)
 			}
-			done[c.Rank()] = k + 1
-			if ctl != nil && ctl.arrive(k+1, c.Rank(), ig.Xi()) {
-				break
+			panic(r)
+		}()
+		w.Run(func(c *comm.Comm) {
+			if ctl != nil {
+				// A panicking rank must release peers parked on the step
+				// barrier before the panic propagates to World.Run.
+				defer func() {
+					if r := recover(); r != nil {
+						ctl.abort()
+						panic(r)
+					}
+				}()
+			}
+			tp, ig := s.Build(c, g)
+			st := state.New(tp.Block)
+			init(g, st)
+			if rs, ok := ig.(ResumeSetter); ok && opts.Resume {
+				rs.SetResumedState(st)
+			} else {
+				ig.(StateSetter).SetState(st)
+			}
+			// Setup and bootstrap (communicator splits, the initial exchange
+			// and Ĉ) are one-time initialization: exclude them from the
+			// measured statistics, like the paper's timings do.
+			c.ResetStats()
+			for k := 0; k < steps; k++ {
+				ig.Step()
+				if hook != nil {
+					hook(g, ig.Xi(), k)
+				}
+				done[c.Rank()] = k + 1
+				if opts.CrashAt != nil && opts.CrashAt(c.Rank(), k+1) {
+					panic(&RankFailure{Rank: c.Rank(), Step: k + 1})
+				}
+				if ctl != nil && ctl.arrive(k+1, c.Rank(), ig.Xi()) {
+					break
+				}
+			}
+			ig.Finalize()
+			finals[c.Rank()] = ig.Xi()
+			counts[c.Rank()] = ig.Counters()
+		})
+	}()
+	if abort != nil {
+		minDone := done[0]
+		for _, d := range done {
+			if d < minDone {
+				minDone = d
 			}
 		}
-		ig.Finalize()
-		finals[c.Rank()] = ig.Xi()
-		counts[c.Rank()] = ig.Counters()
-	})
+		return RunResult{Setup: s, Agg: w.Stats(), StepsDone: minDone, Abort: abort}, rec
+	}
 	return RunResult{Setup: s, Agg: w.Stats(), Count: counts[0], Finals: finals, StepsDone: done[0]}, rec
 }
 

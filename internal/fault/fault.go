@@ -1,0 +1,165 @@
+// Package fault is the seeded, deterministic fault-injection harness for the
+// simulated runtime. A Plan — typically loaded from JSON (the -chaos flag of
+// cmd/dycore and cmd/cadyserved) — describes rank crashes at given steps,
+// straggler ranks (compute-rate scaling), message-delay jitter and transient
+// send errors. An Injector turns a Plan into the two hooks the runtime
+// consumes: a comm.Faults profile (stragglers, jitter, send errors, drawn
+// from per-rank splitmix64 streams so they are independent of goroutine
+// scheduling) and a dycore.RunOpts.CrashAt predicate (rank death, surfaced as
+// a typed abort at the step barrier).
+//
+// Determinism guarantee: injected faults depend only on the plan (seed
+// included) and on each rank's own program order — never on wall-clock time
+// or scheduling. An empty plan injects nothing and leaves the simulated
+// clock, statistics and results bitwise identical to a fault-free run.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Plan is the JSON-specifiable fault profile of one run.
+type Plan struct {
+	// Seed derives the per-rank random streams of the probabilistic faults
+	// (jitter, send errors). Two runs of the same plan inject identically.
+	Seed int64 `json:"seed"`
+	// Crashes kills ranks after they complete given global steps.
+	Crashes []Crash `json:"crashes,omitempty"`
+	// Stragglers slows ranks down by scaling their simulated compute time.
+	Stragglers []Straggler `json:"stragglers,omitempty"`
+	// Jitter delays message availability at the receiver probabilistically.
+	Jitter *Jitter `json:"jitter,omitempty"`
+	// SendErrors charges senders simulated retransmit time probabilistically.
+	SendErrors *SendErrors `json:"send_errors,omitempty"`
+}
+
+// Crash kills one rank after it completes global step Step (1-based), Count
+// times across restarts (0 means once): with Count 1 the first attempt that
+// reaches Step dies and the automatic restart sails past it.
+type Crash struct {
+	Rank  int `json:"rank"`
+	Step  int `json:"step"`
+	Count int `json:"count,omitempty"`
+}
+
+// Straggler multiplies one rank's simulated compute time by Scale (>= 1),
+// i.e. divides its effective ComputeRate — the classic slow-node fault.
+type Straggler struct {
+	Rank  int     `json:"rank"`
+	Scale float64 `json:"scale"`
+}
+
+// Jitter delays each message sent by the listed ranks (all ranks if empty)
+// with probability Prob by a uniform draw from [0, MaxDelay) seconds of
+// simulated time.
+type Jitter struct {
+	Ranks    []int   `json:"ranks,omitempty"`
+	Prob     float64 `json:"prob"`
+	MaxDelay float64 `json:"max_delay"`
+}
+
+// SendErrors makes each message sent by the listed ranks (all ranks if
+// empty) fail transiently with probability Prob; every failure costs the
+// sender Cost seconds of simulated retransmit time before the payload
+// departs, repeating geometrically (bounded by the comm layer).
+type SendErrors struct {
+	Ranks []int   `json:"ranks,omitempty"`
+	Prob  float64 `json:"prob"`
+	Cost  float64 `json:"cost"`
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Crashes) == 0 && len(p.Stragglers) == 0 &&
+		p.Jitter == nil && p.SendErrors == nil)
+}
+
+// Validate checks the plan against a world of procs ranks; procs <= 0 skips
+// the rank-range checks (for validation before the decomposition is known).
+func (p *Plan) Validate(procs int) error {
+	checkRank := func(what string, r int) error {
+		if r < 0 {
+			return fmt.Errorf("fault: %s rank %d is negative", what, r)
+		}
+		if procs > 0 && r >= procs {
+			return fmt.Errorf("fault: %s rank %d outside world of %d ranks", what, r, procs)
+		}
+		return nil
+	}
+	checkProb := func(what string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("fault: %s probability %g outside [0, 1]", what, v)
+		}
+		return nil
+	}
+	for _, c := range p.Crashes {
+		if err := checkRank("crash", c.Rank); err != nil {
+			return err
+		}
+		if c.Step < 1 {
+			return fmt.Errorf("fault: crash step %d must be >= 1", c.Step)
+		}
+		if c.Count < 0 {
+			return fmt.Errorf("fault: crash count %d must be >= 0", c.Count)
+		}
+	}
+	for _, s := range p.Stragglers {
+		if err := checkRank("straggler", s.Rank); err != nil {
+			return err
+		}
+		if s.Scale < 1 {
+			return fmt.Errorf("fault: straggler scale %g must be >= 1", s.Scale)
+		}
+	}
+	if j := p.Jitter; j != nil {
+		if err := checkProb("jitter", j.Prob); err != nil {
+			return err
+		}
+		if j.MaxDelay < 0 {
+			return fmt.Errorf("fault: jitter max_delay %g must be >= 0", j.MaxDelay)
+		}
+		for _, r := range j.Ranks {
+			if err := checkRank("jitter", r); err != nil {
+				return err
+			}
+		}
+	}
+	if se := p.SendErrors; se != nil {
+		if err := checkProb("send_errors", se.Prob); err != nil {
+			return err
+		}
+		if se.Cost < 0 {
+			return fmt.Errorf("fault: send_errors cost %g must be >= 0", se.Cost)
+		}
+		for _, r := range se.Ranks {
+			if err := checkRank("send_errors", r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Parse decodes a plan from JSON, rejecting unknown fields so a typo in a
+// chaos plan fails loudly instead of silently injecting nothing.
+func Parse(data []byte) (Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("fault: parsing plan: %w", err)
+	}
+	return p, nil
+}
+
+// Load reads and parses a plan file.
+func Load(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("fault: reading plan: %w", err)
+	}
+	return Parse(data)
+}

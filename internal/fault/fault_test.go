@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const samplePlan = `{
+  "seed": 7,
+  "crashes": [{"rank": 1, "step": 2}, {"rank": 0, "step": 5, "count": 2}],
+  "stragglers": [{"rank": 2, "scale": 2.5}],
+  "jitter": {"prob": 0.1, "max_delay": 0.001},
+  "send_errors": {"ranks": [0, 3], "prob": 0.05, "cost": 0.0002}
+}`
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse([]byte(samplePlan))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Seed != 7 || len(p.Crashes) != 2 || len(p.Stragglers) != 1 {
+		t.Fatalf("parsed plan %+v", p)
+	}
+	if p.Crashes[1].Count != 2 {
+		t.Fatalf("crash count = %d, want 2", p.Crashes[1].Count)
+	}
+	if p.Jitter == nil || p.Jitter.MaxDelay != 0.001 {
+		t.Fatalf("jitter %+v", p.Jitter)
+	}
+	if p.SendErrors == nil || len(p.SendErrors.Ranks) != 2 {
+		t.Fatalf("send errors %+v", p.SendErrors)
+	}
+	if p.Empty() {
+		t.Fatal("non-empty plan reported Empty")
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatalf("Validate(4): %v", err)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"seed": 1, "crashs": []}`)); err == nil {
+		t.Fatal("misspelled field accepted")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(samplePlan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if p.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", p.Seed)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		plan  Plan
+		procs int
+		want  string
+	}{
+		{"crash step zero", Plan{Crashes: []Crash{{Rank: 0, Step: 0}}}, 4, "step"},
+		{"crash negative count", Plan{Crashes: []Crash{{Rank: 0, Step: 1, Count: -1}}}, 4, "count"},
+		{"crash rank out of range", Plan{Crashes: []Crash{{Rank: 4, Step: 1}}}, 4, "rank"},
+		{"straggler scale below one", Plan{Stragglers: []Straggler{{Rank: 0, Scale: 0.5}}}, 4, "scale"},
+		{"jitter prob above one", Plan{Jitter: &Jitter{Prob: 1.5, MaxDelay: 1}}, 4, "prob"},
+		{"jitter negative delay", Plan{Jitter: &Jitter{Prob: 0.5, MaxDelay: -1}}, 4, "delay"},
+		{"send error negative cost", Plan{SendErrors: &SendErrors{Prob: 0.5, Cost: -1}}, 4, "cost"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(tc.procs)
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// procs <= 0 skips rank-range checks (world size unknown at parse time).
+	p := Plan{Crashes: []Crash{{Rank: 99, Step: 1}}}
+	if err := p.Validate(0); err != nil {
+		t.Errorf("Validate(0) enforced rank range: %v", err)
+	}
+}
+
+// TestCrashFuncOnceAcrossSegments: a single-shot crash fires exactly once
+// even across restarted segments with shifted bases, and a drained injector
+// returns a nil predicate (no per-step overhead on later segments).
+func TestCrashFuncOnceAcrossSegments(t *testing.T) {
+	inj := New(Plan{Crashes: []Crash{{Rank: 1, Step: 3}}})
+
+	// Segment 1 starts at global step 0; the crash arms at local done 3.
+	f := inj.CrashFunc(0)
+	if f == nil {
+		t.Fatal("segment 1: nil predicate with a crash armed")
+	}
+	if f(1, 1) || f(1, 2) || f(0, 3) {
+		t.Fatal("crash fired early or on the wrong rank")
+	}
+	if !f(1, 3) {
+		t.Fatal("crash did not fire at rank 1 step 3")
+	}
+	if f(1, 3) {
+		t.Fatal("single-shot crash fired twice")
+	}
+
+	// Segment 2 resumes from step 2 (checkpoint before the crash): the
+	// global step 3 is local done 1, but the budget is spent.
+	if g := inj.CrashFunc(2); g != nil && g(1, 1) {
+		t.Fatal("crash re-fired after restart")
+	}
+	// A segment past every armed step gets a nil predicate.
+	if g := inj.CrashFunc(3); g != nil {
+		t.Fatal("drained injector returned a live predicate")
+	}
+}
+
+func TestCrashFuncCountAndBase(t *testing.T) {
+	inj := New(Plan{Crashes: []Crash{{Rank: 0, Step: 4, Count: 2}}})
+	// First segment from scratch: fires at done 4.
+	f := inj.CrashFunc(0)
+	if !f(0, 4) {
+		t.Fatal("first crash did not fire")
+	}
+	// Restart from checkpoint at step 2: global step 4 is local done 2.
+	g := inj.CrashFunc(2)
+	if g == nil {
+		t.Fatal("nil predicate with one crash remaining")
+	}
+	if g(0, 1) {
+		t.Fatal("crash fired at global step 3")
+	}
+	if !g(0, 2) {
+		t.Fatal("second crash did not fire at global step 4")
+	}
+	if h := inj.CrashFunc(2); h != nil {
+		t.Fatal("predicate live after count exhausted")
+	}
+}
+
+func TestCommFaultsShape(t *testing.T) {
+	// Crash-only plans need no comm-level profile at all.
+	if f := New(Plan{Crashes: []Crash{{Rank: 0, Step: 1}}}).CommFaults(4); f != nil {
+		t.Fatal("crash-only plan produced a comm profile")
+	}
+
+	p, err := Parse([]byte(samplePlan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(p).CommFaults(4)
+	if f == nil {
+		t.Fatal("nil comm profile for a plan with stragglers/jitter/send errors")
+	}
+	if f.Size() != 4 {
+		t.Fatalf("profile size %d, want 4", f.Size())
+	}
+	if got := f.Rank(2).ComputeScale; got != 2.5 {
+		t.Errorf("straggler scale = %g, want 2.5", got)
+	}
+	if got := f.Rank(0).ComputeScale; got != 1 {
+		t.Errorf("non-straggler scale = %g, want 1", got)
+	}
+	// Jitter with no rank list applies to all ranks.
+	for r := 0; r < 4; r++ {
+		if f.Rank(r).JitterProb != 0.1 {
+			t.Errorf("rank %d jitter prob = %g, want 0.1", r, f.Rank(r).JitterProb)
+		}
+	}
+	// Send errors are limited to the listed ranks.
+	for r, want := range map[int]float64{0: 0.05, 1: 0, 2: 0, 3: 0.05} {
+		if got := f.Rank(r).SendErrProb; got != want {
+			t.Errorf("rank %d send-error prob = %g, want %g", r, got, want)
+		}
+	}
+
+	// Stragglers and listed ranks beyond the world size are clipped.
+	small := New(p).CommFaults(2)
+	if small == nil || small.Size() != 2 {
+		t.Fatalf("clipped profile %+v", small)
+	}
+}

@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"sync"
+
+	"cadycore/internal/comm"
+)
+
+// Injector executes a Plan across the (possibly restarted) segments of one
+// run. It owns the crash bookkeeping: each Crash entry fires Count times
+// (default once) over the whole lifetime of the injector, so a job that is
+// killed at step k and automatically restarted from its checkpoint does not
+// die at step k forever. Create one Injector per job and reuse it across
+// restarts.
+//
+// An Injector is safe for concurrent use: CrashAt predicates are invoked
+// from rank goroutines.
+type Injector struct {
+	plan Plan
+
+	mu        sync.Mutex
+	remaining map[crashKey]int
+}
+
+type crashKey struct{ rank, step int }
+
+// New builds an injector for the plan. Crash entries with Count <= 0 fire
+// once; duplicate (rank, step) entries accumulate.
+func New(plan Plan) *Injector {
+	in := &Injector{plan: plan, remaining: make(map[crashKey]int)}
+	for _, c := range plan.Crashes {
+		n := c.Count
+		if n <= 0 {
+			n = 1
+		}
+		in.remaining[crashKey{c.Rank, c.Step}] += n
+	}
+	return in
+}
+
+// Plan returns the plan the injector was built from.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// CommFaults builds the comm-layer fault profile for a world of p ranks, or
+// nil when the plan has no stragglers, jitter or send errors — a nil profile
+// keeps the communication paths bitwise identical to a fault-free run.
+// Call it once per run segment: each segment draws from a fresh stream
+// seeded by the plan, so a restarted segment injects deterministically too.
+func (in *Injector) CommFaults(p int) *comm.Faults {
+	pl := in.plan
+	if len(pl.Stragglers) == 0 && pl.Jitter == nil && pl.SendErrors == nil {
+		return nil
+	}
+	f := comm.NewFaults(p, pl.Seed)
+	for _, s := range pl.Stragglers {
+		if s.Rank < p && s.Scale > 1 {
+			f.Rank(s.Rank).ComputeScale = s.Scale
+		}
+	}
+	if j := pl.Jitter; j != nil && j.Prob > 0 && j.MaxDelay > 0 {
+		for _, r := range targetRanks(j.Ranks, p) {
+			rf := f.Rank(r)
+			rf.JitterProb = j.Prob
+			rf.JitterMax = j.MaxDelay
+		}
+	}
+	if se := pl.SendErrors; se != nil && se.Prob > 0 && se.Cost > 0 {
+		for _, r := range targetRanks(se.Ranks, p) {
+			rf := f.Rank(r)
+			rf.SendErrProb = se.Prob
+			rf.SendErrCost = se.Cost
+		}
+	}
+	return f
+}
+
+// targetRanks expands an explicit rank list (clipped to the world) or, when
+// empty, every rank of a p-rank world.
+func targetRanks(ranks []int, p int) []int {
+	if len(ranks) == 0 {
+		all := make([]int, p)
+		for r := range all {
+			all[r] = r
+		}
+		return all
+	}
+	out := make([]int, 0, len(ranks))
+	for _, r := range ranks {
+		if r >= 0 && r < p {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CrashFunc returns a dycore.RunOpts.CrashAt predicate for a run segment
+// whose step counter starts at global step base (0 for a fresh run, the
+// checkpointed step for a resumed one), or nil when no crash can still fire
+// — so a fault-free segment pays no per-step overhead at all.
+func (in *Injector) CrashFunc(base int) func(rank, done int) bool {
+	in.mu.Lock()
+	armed := false
+	for k, n := range in.remaining {
+		if n > 0 && k.step > base {
+			armed = true
+			break
+		}
+	}
+	in.mu.Unlock()
+	if !armed {
+		return nil
+	}
+	return func(rank, done int) bool {
+		key := crashKey{rank, base + done}
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		if in.remaining[key] > 0 {
+			in.remaining[key]--
+			return true
+		}
+		return false
+	}
+}

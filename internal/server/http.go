@@ -17,11 +17,19 @@ func (s *Server) routes() {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before touching the ResponseWriter: the old Encoder form wrote
+	// the status header first and ignored Encode's error, so a failing value
+	// produced a 2xx with a torn body. Now an encoding failure becomes a
+	// clean 500. (The Write error is unchecked deliberately: at that point
+	// the client hung up and there is no one left to tell.)
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"internal: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(append(b, '\n'))
 }
 
 type errorBody struct {

@@ -17,6 +17,7 @@ import (
 	"cadycore/internal/comm"
 	"cadycore/internal/diag"
 	"cadycore/internal/dycore"
+	"cadycore/internal/fault"
 	"cadycore/internal/grid"
 	"cadycore/internal/state"
 	"cadycore/internal/tune"
@@ -70,6 +71,11 @@ type JobSpec struct {
 	// segment; an exceeded deadline interrupts the job at a step boundary
 	// (resumable).
 	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+
+	// MaxRestarts, when set, overrides the server's restart policy for this
+	// job: the number of automatic restarts granted after an injected rank
+	// death (0 disables automatic restart for the job).
+	MaxRestarts *int `json:"max_restarts,omitempty"`
 
 	// Ps is the process-count axis of figures jobs.
 	Ps []int `json:"ps,omitempty"`
@@ -130,7 +136,13 @@ func (sp *JobSpec) Normalize() error {
 	if sp.DeadlineSec < 0 {
 		return fmt.Errorf("deadline_sec = %g must be >= 0", sp.DeadlineSec)
 	}
+	if sp.MaxRestarts != nil && *sp.MaxRestarts < 0 {
+		return fmt.Errorf("max_restarts = %d must be >= 0", *sp.MaxRestarts)
+	}
 	if sp.Kind == "figures" {
+		if sp.MaxRestarts != nil {
+			return fmt.Errorf("max_restarts is only meaningful for run jobs (sweeps are not checkpointable)")
+		}
 		if sp.Layout != "" && sp.Layout != "explicit" {
 			return fmt.Errorf("layout %q is only meaningful for run jobs", sp.Layout)
 		}
@@ -274,6 +286,11 @@ const (
 	// JFailed: panicked, exceeded its deadline or was otherwise aborted;
 	// resumable when a checkpoint exists.
 	JFailed JState = "failed"
+	// JRetrying: a rank died (fault injection) and the server is waiting out
+	// the restart backoff before re-enqueueing the job from its latest
+	// checkpoint. Not terminal: the job still belongs to the restart policy
+	// (cancel stops the pending restart).
+	JRetrying JState = "retrying"
 )
 
 // terminal reports whether no worker currently owns or will own the job.
@@ -302,10 +319,17 @@ type Job struct {
 	cancel          context.CancelFunc // set while running
 	cancelRequested bool
 
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	attempts  int
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	attempts   int
+	restarts   int         // automatic restarts consumed (fault recovery)
+	retryTimer *time.Timer // pending backoff timer while JRetrying
+
+	// persistErr surfaces the latest persistence failure in the job status
+	// (durable writes are no longer fire-and-forget); cleared by the next
+	// successful write.
+	persistErr string
 
 	agg     comm.Aggregate
 	count   dycore.Counters
@@ -315,6 +339,21 @@ type Job struct {
 	// plan is the autotuner's decision for auto-layout jobs (set when the
 	// first execution segment plans, reused by resumes).
 	plan *tune.Plan
+	// chaos is the job's fault injector, built lazily from the server's
+	// chaos plan so crash budgets span automatic restarts.
+	chaos *fault.Injector
+}
+
+// ensureChaos returns the job's fault injector, building it from plan on
+// first use. One injector per job: a crash entry consumed before a restart
+// stays consumed, so the restarted segment sails past the step it died at.
+func (j *Job) ensureChaos(plan *fault.Plan) *fault.Injector {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.chaos == nil {
+		j.chaos = fault.New(*plan)
+	}
+	return j.chaos
 }
 
 // JobStatus is the JSON view of a job returned by GET /jobs/{id}.
@@ -328,7 +367,11 @@ type JobStatus struct {
 	Resumable bool    `json:"resumable"`
 	CkptStep  int     `json:"checkpoint_step,omitempty"`
 	Attempts  int     `json:"attempts"`
+	Restarts  int     `json:"restarts,omitempty"`
 	Error     string  `json:"error,omitempty"`
+	// PersistError is the latest failed durable write, if any (the job keeps
+	// running on its in-memory checkpoint, but a process crash would lose it).
+	PersistError string `json:"persist_error,omitempty"`
 
 	SubmittedAt string  `json:"submitted_at"`
 	StartedAt   string  `json:"started_at,omitempty"`
@@ -362,17 +405,19 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:          j.ID,
-		Kind:        j.Spec.Kind,
-		State:       j.state,
-		StepsDone:   j.stepsDone,
-		StepsWant:   j.Spec.Steps,
-		Resumable:   j.resumable,
-		CkptStep:    j.ckptStep,
-		Attempts:    j.attempts,
-		Error:       j.errMsg,
-		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
-		Spec:        j.Spec,
+		ID:           j.ID,
+		Kind:         j.Spec.Kind,
+		State:        j.state,
+		StepsDone:    j.stepsDone,
+		StepsWant:    j.Spec.Steps,
+		Resumable:    j.resumable,
+		CkptStep:     j.ckptStep,
+		Attempts:     j.attempts,
+		Restarts:     j.restarts,
+		Error:        j.errMsg,
+		PersistError: j.persistErr,
+		SubmittedAt:  j.submitted.UTC().Format(time.RFC3339Nano),
+		Spec:         j.Spec,
 	}
 	if j.Spec.Steps > 0 {
 		st.Progress = float64(j.stepsDone) / float64(j.Spec.Steps)

@@ -21,6 +21,11 @@ type metrics struct {
 	steps       atomic.Int64
 	snapshots   atomic.Int64
 	busy        atomic.Int64
+
+	// fault-injection / recovery / durability counters
+	rankFailures  atomic.Int64
+	restarts      atomic.Int64
+	persistErrors atomic.Int64
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -48,7 +53,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	p("# HELP cady_jobs Current jobs by state.")
 	p("# TYPE cady_jobs gauge")
-	for _, st := range []JState{JQueued, JRunning, JCompleted, JCancelled, JInterrupted, JFailed} {
+	for _, st := range []JState{JQueued, JRunning, JRetrying, JCompleted, JCancelled, JInterrupted, JFailed} {
 		p("cady_jobs{state=%q} %d", string(st), states[st])
 	}
 
@@ -73,6 +78,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP cady_jobs_interrupted_total Jobs stopped by a server drain.")
 	p("# TYPE cady_jobs_interrupted_total counter")
 	p("cady_jobs_interrupted_total %d", s.met.interrupted.Load())
+
+	p("# HELP cady_rank_failures_total Injected rank deaths that aborted a run segment.")
+	p("# TYPE cady_rank_failures_total counter")
+	p("cady_rank_failures_total %d", s.met.rankFailures.Load())
+	p("# HELP cady_job_restarts_total Automatic restarts scheduled after a rank death.")
+	p("# TYPE cady_job_restarts_total counter")
+	p("cady_job_restarts_total %d", s.met.restarts.Load())
+	p("# HELP cady_persist_errors_total Durable writes (spec, meta, checkpoint) that failed.")
+	p("# TYPE cady_persist_errors_total counter")
+	p("cady_persist_errors_total %d", s.met.persistErrors.Load())
 
 	p("# HELP cady_steps_total Dynamical-core steps completed across all jobs.")
 	p("# TYPE cady_steps_total counter")

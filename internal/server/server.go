@@ -17,6 +17,7 @@ import (
 	"cadycore/internal/checkpoint"
 	"cadycore/internal/comm"
 	"cadycore/internal/dycore"
+	"cadycore/internal/fault"
 	"cadycore/internal/grid"
 	"cadycore/internal/harness"
 	"cadycore/internal/heldsuarez"
@@ -42,6 +43,58 @@ type Config struct {
 	// default planner from Model (analytic profile, short pilots) with the
 	// plan cache under Dir/plans when Dir is set.
 	Planner *tune.Planner
+	// Chaos, when non-nil and non-empty, injects the fault plan into every
+	// run job: stragglers, message jitter and transient send errors perturb
+	// the simulated clock, and rank crashes kill jobs mid-run so the restart
+	// policy below recovers them from their latest checkpoint. The
+	// chaos-testing mode behind cmd/cadyserved's -chaos flag.
+	Chaos *fault.Plan
+	// Restart is the automatic crash-recovery policy for run jobs whose
+	// ranks die; the zero value enables it with the defaults documented on
+	// RestartPolicy.
+	Restart RestartPolicy
+}
+
+// RestartPolicy governs automatic recovery of jobs aborted by an injected
+// rank death: the job enters the "retrying" state, waits out an exponential
+// backoff and is re-enqueued to resume from its latest checkpoint.
+type RestartPolicy struct {
+	// MaxRestarts is the restart budget per job (default 3; negative
+	// disables automatic restart). A job's spec max_restarts overrides it.
+	MaxRestarts int
+	// Backoff is the delay before the first restart (default 100ms); it
+	// doubles on each subsequent restart, capped at MaxBackoff (default 5s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// normalize fills the documented defaults.
+func (rp RestartPolicy) normalize() RestartPolicy {
+	if rp.MaxRestarts == 0 {
+		rp.MaxRestarts = 3
+	}
+	if rp.MaxRestarts < 0 {
+		rp.MaxRestarts = 0
+	}
+	if rp.Backoff <= 0 {
+		rp.Backoff = 100 * time.Millisecond
+	}
+	if rp.MaxBackoff <= 0 {
+		rp.MaxBackoff = 5 * time.Second
+	}
+	return rp
+}
+
+// delay returns the backoff before the n-th restart (1-based).
+func (rp RestartPolicy) delay(n int) time.Duration {
+	d := rp.Backoff
+	for i := 1; i < n && d < rp.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > rp.MaxBackoff {
+		d = rp.MaxBackoff
+	}
+	return d
 }
 
 // Submission errors mapped to HTTP statuses by the handlers.
@@ -58,6 +111,8 @@ type Server struct {
 	cfg     Config
 	model   comm.NetModel
 	planner *tune.Planner
+	restart RestartPolicy
+	chaos   *fault.Plan // nil when chaos testing is off
 	mux     *http.ServeMux
 	met     metrics
 	start   time.Time
@@ -107,10 +162,21 @@ func New(cfg Config) (*Server, error) {
 			planner.Cache = tune.NewCache(filepath.Join(cfg.Dir, "plans"))
 		}
 	}
+	chaos := cfg.Chaos
+	if chaos != nil {
+		if err := chaos.Validate(0); err != nil {
+			return nil, err
+		}
+		if chaos.Empty() {
+			chaos = nil
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		model:   model,
 		planner: planner,
+		restart: cfg.Restart.normalize(),
+		chaos:   chaos,
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, cfg.QueueCap),
 		start:   time.Now(),
@@ -214,6 +280,18 @@ func (s *Server) Cancel(id string) error {
 			j.cancel()
 		}
 		return nil
+	case JRetrying:
+		// Stop the pending restart; the job keeps its checkpoint.
+		if j.retryTimer != nil {
+			j.retryTimer.Stop()
+			j.retryTimer = nil
+		}
+		j.state = JCancelled
+		j.resumable = true
+		j.finished = time.Now()
+		s.met.cancelled.Add(1)
+		s.persistMetaLocked(j)
+		return nil
 	default:
 		return fmt.Errorf("server: job %s is %s, not cancellable", id, j.state)
 	}
@@ -298,8 +376,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	// Persist the final metadata of everything still queued.
+	// Jobs parked in a restart backoff cannot restart on a drained server:
+	// surface them as interrupted (resumable), like running jobs that were
+	// stopped. Then persist the final metadata of everything still queued.
 	for _, j := range s.List() {
+		j.mu.Lock()
+		if j.state == JRetrying {
+			if j.retryTimer != nil {
+				j.retryTimer.Stop()
+				j.retryTimer = nil
+			}
+			j.state = JInterrupted
+			j.resumable = true
+			j.finished = time.Now()
+			s.met.interrupted.Add(1)
+		}
+		j.mu.Unlock()
 		s.persistMeta(j)
 	}
 	return nil
@@ -416,6 +508,9 @@ func (s *Server) runJob(j *Job) {
 
 	opts := dycore.RunOpts{
 		Hook: hook,
+		// A checkpointed state is mid-trajectory: it still owes the
+		// comm-avoiding scheme's deferred smoothing (see dycore.ResumeSetter).
+		Resume: snap != nil,
 		Progress: func(done int) {
 			j.mu.Lock()
 			j.stepsDone = segBase + done
@@ -434,7 +529,17 @@ func (s *Server) runJob(j *Job) {
 			s.persistSnap(j, gl)
 		},
 	}
+	if s.chaos != nil {
+		inj := j.ensureChaos(s.chaos)
+		opts.Faults = inj.CommFaults(set.Procs())
+		opts.CrashAt = inj.CrashFunc(segBase)
+	}
 	res, _ := dycore.RunWithOpts(set, g, s.model, init, remaining, opts)
+
+	if res.Abort != nil {
+		s.handleAbort(j, res)
+		return
+	}
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -464,6 +569,7 @@ func (s *Server) runJob(j *Job) {
 	// Ran to completion: record diagnostics and the final state as the
 	// job's last checkpoint.
 	j.state = JCompleted
+	j.errMsg = "" // clear the abort message of a recovered crash
 	j.resumable = false
 	j.diags = diagnostics(g, res.Finals)
 	final := checkpoint.Gather(g, res.Finals)
@@ -471,6 +577,87 @@ func (s *Server) runJob(j *Job) {
 	j.ckptStep = j.stepsDone
 	s.met.completed.Add(1)
 	s.persistSnapLocked(j, final)
+}
+
+// handleAbort translates an injected rank death into the restart policy:
+// unless a cancel or drain intervened or the restart budget is exhausted,
+// the job enters "retrying" and an exponential-backoff timer re-enqueues it
+// to resume from its latest checkpoint.
+func (s *Server) handleAbort(j *Job, res dycore.RunResult) {
+	s.met.rankFailures.Add(1)
+	limit := s.restart.MaxRestarts
+	if j.Spec.MaxRestarts != nil {
+		limit = *j.Spec.MaxRestarts
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	j.agg = mergeAgg(j.agg, res.Agg)
+	j.errMsg = res.Abort.Error()
+	j.resumable = true
+	switch {
+	case j.cancelRequested:
+		j.state = JCancelled
+		j.finished = time.Now()
+		s.met.cancelled.Add(1)
+	case s.baseCtx.Err() != nil:
+		// Draining: no restart timer can run to completion; leave the job
+		// resumable for the next service instance.
+		j.state = JInterrupted
+		j.finished = time.Now()
+		s.met.interrupted.Add(1)
+	case j.restarts >= limit:
+		j.state = JFailed
+		j.errMsg = fmt.Sprintf("%s (restart budget %d exhausted)", res.Abort.Error(), limit)
+		j.finished = time.Now()
+		s.met.failed.Add(1)
+	default:
+		j.restarts++
+		j.state = JRetrying
+		j.retryTimer = time.AfterFunc(s.restart.delay(j.restarts), func() { s.requeueRetry(j) })
+		s.met.restarts.Add(1)
+	}
+	s.persistMetaLocked(j)
+}
+
+// requeueRetry moves a retrying job back into the admission queue when its
+// backoff expires. A full queue re-arms the timer instead of dropping the
+// job; a drained or closed server surfaces it as interrupted (resumable).
+func (s *Server) requeueRetry(j *Job) {
+	s.mu.Lock()
+	closed := s.closed || s.baseCtx.Err() != nil
+	if closed {
+		s.mu.Unlock()
+		j.mu.Lock()
+		if j.state == JRetrying {
+			j.retryTimer = nil
+			j.state = JInterrupted
+			j.resumable = true
+			j.finished = time.Now()
+			s.met.interrupted.Add(1)
+			s.persistMetaLocked(j)
+		}
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Lock()
+	if j.state != JRetrying {
+		// Cancelled while backing off.
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	j.retryTimer = nil
+	select {
+	case s.queue <- j:
+		j.state = JQueued
+		j.mu.Unlock()
+		s.mu.Unlock()
+	default:
+		j.retryTimer = time.AfterFunc(s.restart.Backoff, func() { s.requeueRetry(j) })
+		j.mu.Unlock()
+		s.mu.Unlock()
+	}
 }
 
 // runFigures executes a figures job: the harness sweep with the shared
@@ -532,8 +719,11 @@ func validatePlanned(sp JobSpec, p tune.Plan) error {
 // --- persistence -----------------------------------------------------------
 //
 // Layout under cfg.Dir: <id>/spec.json, <id>/meta.json, <id>/snap.ck.
-// Writes are temp-file + rename so a crash never leaves a torn file; the
-// checkpoint format's own CRC64 catches anything else.
+// Writes are temp-file + fsync + rename + parent-dir fsync so a crash at any
+// point leaves either the old or the new file, never a torn or lost one; the
+// checkpoint format's own CRC64 catches anything else. Failures are no
+// longer swallowed: they surface in the job status (persist_error) and the
+// cady_persist_errors_total counter.
 
 type jobMeta struct {
 	State     JState     `json:"state"`
@@ -542,21 +732,38 @@ type jobMeta struct {
 	Resumable bool       `json:"resumable"`
 	Error     string     `json:"error,omitempty"`
 	Attempts  int        `json:"attempts"`
+	Restarts  int        `json:"restarts,omitempty"`
 	Plan      *tune.Plan `json:"plan,omitempty"`
 }
 
 func (s *Server) jobDir(j *Job) string { return filepath.Join(s.cfg.Dir, j.ID) }
+
+// notePersist records the outcome of a durable write on the job (which must
+// be locked) and in the service metrics.
+func (s *Server) notePersist(j *Job, err error) {
+	if err != nil {
+		j.persistErr = err.Error()
+		s.met.persistErrors.Add(1)
+	} else {
+		j.persistErr = ""
+	}
+}
 
 func (s *Server) persistSpec(j *Job) {
 	if s.cfg.Dir == "" {
 		return
 	}
 	dir := s.jobDir(j)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return
+	err := os.MkdirAll(dir, 0o755)
+	if err == nil {
+		b, _ := json.MarshalIndent(j.Spec, "", "  ")
+		err = writeFileAtomic(filepath.Join(dir, "spec.json"), b)
 	}
-	b, _ := json.MarshalIndent(j.Spec, "", "  ")
-	writeFileAtomic(filepath.Join(dir, "spec.json"), b)
+	if err != nil {
+		j.mu.Lock()
+		s.notePersist(j, err)
+		j.mu.Unlock()
+	}
 }
 
 func (s *Server) persistMeta(j *Job) {
@@ -576,60 +783,106 @@ func (s *Server) persistMetaLocked(j *Job) {
 		Resumable: j.resumable,
 		Error:     j.errMsg,
 		Attempts:  j.attempts,
+		Restarts:  j.restarts,
 		Plan:      j.plan,
 	}
 	b, _ := json.MarshalIndent(m, "", "  ")
-	writeFileAtomic(filepath.Join(s.jobDir(j), "meta.json"), b)
+	if err := writeFileAtomic(filepath.Join(s.jobDir(j), "meta.json"), b); err != nil {
+		s.notePersist(j, err)
+	}
 }
 
 func (s *Server) persistSnap(j *Job, gl *checkpoint.Global) {
 	if s.cfg.Dir == "" {
 		return
 	}
-	path := filepath.Join(s.jobDir(j), "snap.ck")
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return
-	}
-	if err := gl.Write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return
-	}
-	os.Rename(tmp, path)
-	s.persistMeta(j)
+	err := writeSnapFile(filepath.Join(s.jobDir(j), "snap.ck"), gl)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s.notePersist(j, err)
+	s.persistMetaLocked(j)
 }
 
 func (s *Server) persistSnapLocked(j *Job, gl *checkpoint.Global) {
 	if s.cfg.Dir == "" {
 		return
 	}
-	path := filepath.Join(s.jobDir(j), "snap.ck")
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return
-	}
-	if err := gl.Write(f); err == nil && f.Close() == nil {
-		os.Rename(tmp, path)
-	} else {
-		f.Close()
-		os.Remove(tmp)
-	}
+	s.notePersist(j, writeSnapFile(filepath.Join(s.jobDir(j), "snap.ck"), gl))
 	s.persistMetaLocked(j)
 }
 
-func writeFileAtomic(path string, b []byte) {
+// writeSnapFile durably writes one checkpoint: temp file, fsync, rename,
+// parent-dir fsync. The temp file lives in the destination directory (a
+// cross-device rename would not be atomic); a process death between
+// create and rename can strand it, which is why recover() sweeps *.tmp
+// before trusting a job directory.
+func writeSnapFile(path string, gl *checkpoint.Global) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
 	}
-	os.Rename(tmp, path)
+	if err := gl.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// writeFileAtomic durably replaces path with b (same protocol as
+// writeSnapFile).
+func writeFileAtomic(path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // recover re-registers persisted jobs from cfg.Dir. Jobs that were queued,
@@ -653,6 +906,14 @@ func (s *Server) recover() error {
 	sort.Strings(ids)
 	for _, id := range ids {
 		dir := filepath.Join(s.cfg.Dir, id)
+		// A crash between temp write and rename leaves a stale *.tmp next to
+		// the last complete file. It is never valid state (the rename is the
+		// commit point): remove it so nothing can ever load it.
+		if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) > 0 {
+			for _, t := range tmps {
+				os.Remove(t)
+			}
+		}
 		specB, err := os.ReadFile(filepath.Join(dir, "spec.json"))
 		if err != nil {
 			continue
@@ -671,6 +932,7 @@ func (s *Server) recover() error {
 				j.resumable = m.Resumable
 				j.errMsg = m.Error
 				j.attempts = m.Attempts
+				j.restarts = m.Restarts
 				j.plan = m.Plan
 			}
 		}
@@ -680,9 +942,10 @@ func (s *Server) recover() error {
 			}
 			f.Close()
 		}
-		// A job that was mid-flight when the process died cannot still be
-		// running; surface it as interrupted and resumable.
-		if j.state == JQueued || j.state == JRunning {
+		// A job that was mid-flight (or parked in a restart backoff) when
+		// the process died cannot still be running; surface it as
+		// interrupted and resumable.
+		if j.state == JQueued || j.state == JRunning || j.state == JRetrying {
 			j.state = JInterrupted
 			j.resumable = true
 		}

@@ -153,7 +153,9 @@ func DefaultProfile() Profile {
 }
 
 // writeFileAtomic writes data to path via a temp file in the same directory
-// plus rename, so concurrent readers never observe a partial file.
+// plus fsync + rename + parent-dir fsync, so concurrent readers never
+// observe a partial file and a crash at any point leaves either the old or
+// the new content — never a torn or lost file.
 func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -169,6 +171,11 @@ func writeFileAtomic(path string, data []byte) error {
 		os.Remove(tmpName)
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return err
@@ -177,5 +184,13 @@ func writeFileAtomic(path string, data []byte) error {
 		os.Remove(tmpName)
 		return err
 	}
-	return nil
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
