@@ -22,13 +22,15 @@ import (
 	"math/rand"
 	"os"
 	"testing"
+	"time"
 
 	"cadycore/internal/comm"
 	"cadycore/internal/dycore"
-	"cadycore/internal/field"
 	"cadycore/internal/fft"
+	"cadycore/internal/field"
 	"cadycore/internal/filter"
 	"cadycore/internal/grid"
+	"cadycore/internal/harness"
 	"cadycore/internal/heldsuarez"
 	"cadycore/internal/operators"
 	"cadycore/internal/state"
@@ -41,6 +43,25 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	N           int     `json:"n"`
+	// SimNsPerStep is the LogP-simulated nanoseconds per step of the
+	// multi-rank step rows (step_*_overlap, step_*_quiesced); 0 elsewhere.
+	SimNsPerStep float64 `json:"sim_ns_per_step,omitempty"`
+	// OverlapFraction is hidden/(hidden+exposed) communication time of the
+	// multi-rank step rows: the share of communication the critical-path
+	// ranks covered with interior compute.
+	OverlapFraction float64 `json:"overlap_fraction,omitempty"`
+	// Exchangers carries the per-exchanger Begin/Finish and hidden/exposed
+	// accounting of the multi-rank step rows.
+	Exchangers []exchRow `json:"exchangers,omitempty"`
+}
+
+// exchRow is one exchanger's overlap accounting in the JSON report.
+type exchRow struct {
+	Label     string  `json:"label"`
+	Begins    int64   `json:"begins"`
+	Finishes  int64   `json:"finishes"`
+	HiddenNs  float64 `json:"hidden_ns"`
+	ExposedNs float64 `json:"exposed_ns"`
 }
 
 func run(name string, fn func(b *testing.B)) result {
@@ -55,6 +76,64 @@ func run(name string, fn func(b *testing.B)) result {
 	fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
 		res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
 	return res
+}
+
+// stepParallel runs a multi-rank LogP step benchmark: `steps` steps of the
+// algorithm on a TianheLike world, with the Held–Suarez hook keeping the
+// forcing path hot. It reports both the real wall clock per step (ns_per_op)
+// and the simulated step time with its overlap accounting.
+func stepParallel(name string, alg dycore.Algorithm, g *grid.Grid, procs, steps int, noOverlap bool) result {
+	py, pz, ok := harness.YZFactors(procs, g.Ny, g.Nz)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no Y-Z layout for p=%d on %dx%dx%d; skipping %s\n",
+			procs, g.Nx, g.Ny, g.Nz, name)
+		return result{Name: name}
+	}
+	cfg := dycore.DefaultConfig()
+	cfg.Dt1, cfg.Dt2 = 40, 240
+	cfg.NoOverlap = noOverlap
+	set := dycore.Setup{Alg: alg, PA: py, PB: pz, Cfg: cfg}
+	hs := heldsuarez.Standard()
+	hook := func(g *grid.Grid, st *state.State, step int) { hs.Apply(g, st, cfg.Dt2) }
+	t0 := time.Now()
+	res := dycore.RunWithHook(set, g, comm.TianheLike(), heldsuarez.InitialState, steps, hook)
+	wall := time.Since(t0)
+	row := result{
+		Name:            name,
+		NsPerOp:         float64(wall.Nanoseconds()) / float64(steps),
+		N:               steps,
+		SimNsPerStep:    res.Agg.SimTime * 1e9 / float64(steps),
+		OverlapFraction: res.Agg.OverlapFraction(),
+	}
+	for _, ex := range res.Exch {
+		row.Exchangers = append(row.Exchangers, exchRow{
+			Label:     ex.Label,
+			Begins:    ex.Begins,
+			Finishes:  ex.Finishes,
+			HiddenNs:  ex.HiddenSec * 1e9,
+			ExposedNs: ex.ExposedSec * 1e9,
+		})
+	}
+	fmt.Printf("%-28s %12.0f ns/op %12.0f sim-ns/step %8.1f%% overlapped\n",
+		row.Name, row.NsPerOp, row.SimNsPerStep, 100*row.OverlapFraction)
+	return row
+}
+
+// compareOverlap prints the overlapped-vs-quiesced LogP step time of the
+// figure-6/7/8 cells (the -compare mode).
+func compareOverlap(g *grid.Grid, procs, steps int) {
+	fmt.Printf("overlap comparison on %dx%dx%d, p=%d (%d steps, TianheLike):\n",
+		g.Nx, g.Ny, g.Nz, procs, steps)
+	for _, alg := range []dycore.Algorithm{dycore.AlgBaselineYZ, dycore.AlgCommAvoid} {
+		ov := stepParallel("step_"+alg.String()+"_overlap", alg, g, procs, steps, false)
+		qu := stepParallel("step_"+alg.String()+"_quiesced", alg, g, procs, steps, true)
+		if ov.SimNsPerStep <= 0 || qu.SimNsPerStep <= 0 {
+			continue
+		}
+		fmt.Printf("  %-12s sim step %.3f ms overlapped vs %.3f ms quiesced (%.1f%% faster, overlap fraction %.1f%%)\n",
+			alg.String(), ov.SimNsPerStep/1e6, qu.SimNsPerStep/1e6,
+			100*(1-ov.SimNsPerStep/qu.SimNsPerStep), 100*ov.OverlapFraction)
+	}
 }
 
 func benchState(g *grid.Grid) (*state.State, field.Block) {
@@ -74,9 +153,17 @@ func main() {
 	nx := flag.Int("nx", 96, "mesh points in longitude")
 	ny := flag.Int("ny", 48, "mesh points in latitude")
 	nz := flag.Int("nz", 12, "mesh levels")
+	procs := flag.Int("p", 16, "ranks for the multi-rank step rows")
+	steps := flag.Int("steps", 2, "steps per multi-rank step row")
+	compare := flag.Bool("compare", false,
+		"compare overlapped vs quiesced LogP step time on the figure-6/7/8 mesh and exit")
 	flag.Parse()
 
 	g := grid.New(*nx, *ny, *nz)
+	if *compare {
+		compareOverlap(g, *procs, *steps)
+		return
+	}
 	var results []result
 
 	// FFT: the complex plan vs the half-spectrum real plan at the mesh's
@@ -192,6 +279,14 @@ func main() {
 				}
 			})
 		}))
+	}
+
+	// Multi-rank LogP step rows: overlapped vs quiesced, with the
+	// per-exchanger hidden/exposed split (the overlap-fraction observable).
+	for _, alg := range []dycore.Algorithm{dycore.AlgBaselineYZ, dycore.AlgCommAvoid} {
+		results = append(results,
+			stepParallel("step_"+alg.String()+"_overlap", alg, g, *procs, *steps, false),
+			stepParallel("step_"+alg.String()+"_quiesced", alg, g, *procs, *steps, true))
 	}
 
 	report := map[string]interface{}{

@@ -82,10 +82,10 @@ func cmdCalibrate(args []string) {
 
 // planFlags are the flags shared by plan, run and bench.
 type planFlags struct {
-	procs, nx, ny, nz, m         int
-	topk, pilotSteps, maxWorkers int
-	profilePath, cacheDir        string
-	varyM, noUnbalanced          bool
+	procs, nx, ny, nz, m          int
+	topk, pilotSteps, maxWorkers  int
+	profilePath, cacheDir         string
+	varyM, noUnbalanced, noStaged bool
 }
 
 func addPlanFlags(fs *flag.FlagSet) *planFlags {
@@ -102,6 +102,7 @@ func addPlanFlags(fs *flag.FlagSet) *planFlags {
 	fs.StringVar(&pf.cacheDir, "cache", "", "plan memo directory (empty: no memoization)")
 	fs.BoolVar(&pf.varyM, "vary-m", false, "also search M-1 and M+1 (changes physics accuracy)")
 	fs.BoolVar(&pf.noUnbalanced, "no-unbalanced", false, "disable weighted y-row partition candidates")
+	fs.BoolVar(&pf.noStaged, "no-staged", false, "disable staged-exchange (shallow halo) CA candidates")
 	return &pf
 }
 
@@ -121,6 +122,7 @@ func (pf *planFlags) planner() *tune.Planner {
 			MaxWorkers:   pf.maxWorkers,
 			VaryM:        pf.varyM,
 			NoUnbalanced: pf.noUnbalanced,
+			NoStaged:     pf.noStaged,
 		},
 	}
 	if pf.cacheDir != "" {

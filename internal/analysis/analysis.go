@@ -1,6 +1,6 @@
 // Package analysis is a self-contained (standard-library-only) static
 // analysis suite for this module, in the style of golang.org/x/tools
-// go/analysis. It provides three domain-specific analyzers that turn the
+// go/analysis. It provides four domain-specific analyzers that turn the
 // paper's runtime invariants into build-time guarantees:
 //
 //   - allocfree: functions annotated //cadyvet:allocfree (and, transitively,
@@ -17,6 +17,10 @@
 //   - detorder: iteration over Go maps is randomized; a map-ordered loop that
 //     feeds floating-point accumulation, communication, or serialization
 //     breaks bitwise reproducibility across runs and ranks.
+//   - overlap: a topo.Exchanger.Begin whose Pending is Finished immediately
+//     (chained, or by the very next statement) pays the split exchange's
+//     bookkeeping while hiding zero compute; independent interior work
+//     belongs between the two calls, or the round must justify quiescing.
 //
 // The suite is wired into `go vet -vettool` by cmd/cadyvet (see unit.go for
 // the protocol) and is runnable on isolated fixture packages in tests (see
@@ -24,7 +28,7 @@
 //
 // # Annotations
 //
-// cadyvet understands five comment directives. Every waiver form requires a
+// cadyvet understands six comment directives. Every waiver form requires a
 // written justification after the directive word; an empty justification is
 // itself a diagnostic.
 //
@@ -45,6 +49,11 @@
 //	//cadyvet:unordered <why>
 //	    On (or above) a `for … range` statement over a map: assert the loop
 //	    is insensitive to iteration order.
+//	//cadyvet:quiesce <why>
+//	    On (or above) a Pending.Finish call that immediately follows its
+//	    Begin: assert the round deliberately exposes the full exchange
+//	    latency (ablation reference path, bootstrap fill with no
+//	    independent compute, …).
 package analysis
 
 import (
@@ -66,7 +75,7 @@ type Analyzer struct {
 // All returns the full cadyvet suite in execution order. The order matters:
 // allocfree and commsym publish function facts that detorder consumes.
 func All() []*Analyzer {
-	return []*Analyzer{AllocFree, CommSym, DetOrder}
+	return []*Analyzer{AllocFree, CommSym, DetOrder, Overlap}
 }
 
 // A Diagnostic is one finding.
@@ -149,6 +158,7 @@ const (
 	dirAllow       = "allow"
 	dirRankUniform = "rankuniform"
 	dirUnordered   = "unordered"
+	dirQuiesce     = "quiesce"
 )
 
 type directive struct {
@@ -237,7 +247,7 @@ func (p *Pass) reportBadDirectives() {
 		switch d.kind {
 		case dirAllocFree:
 			// Marker, no reason needed.
-		case dirAssumeClean, dirAllow, dirRankUniform, dirUnordered:
+		case dirAssumeClean, dirAllow, dirRankUniform, dirUnordered, dirQuiesce:
 			if d.reason == "" {
 				p.diags = append(p.diags, &Diagnostic{
 					Pos:      d.pos,

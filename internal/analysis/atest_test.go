@@ -178,6 +178,7 @@ func TestCommSymFixture(t *testing.T)          { runFixture(t, "commsym") }
 func TestCommSymTransitive(t *testing.T)       { runFixture(t, "commsym_x") }
 func TestDetOrderFixture(t *testing.T)         { runFixture(t, "detorder") }
 func TestDirectiveHygieneFixture(t *testing.T) { runFixture(t, "directives") }
+func TestOverlapFixture(t *testing.T)          { runFixture(t, "overlap") }
 
 // TestFixtureDepsClean ensures the shared fixture stand-ins for comm/topo are
 // themselves quiet (they model the library, not findings).

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Overlap enforces the communication-overlap discipline of the split halo
+// exchange (§4.3.1 as refined by the overlapped-exchange design): the
+// Begin/Finish pair exists so interior compute can run while halo messages
+// fly, and a Finish that immediately follows its Begin exposes the full
+// exchange latency — the code pays the split's bookkeeping and hides
+// nothing. It flags:
+//
+//   - chained completions e.Begin(...).Finish(), and
+//   - a Pending assigned from Begin and completed by the very next
+//     statement of the same block (p := e.Begin(...); p.Finish()).
+//
+// Deliberately quiesced rounds — ablation reference paths, bootstrap fills
+// where no independent compute exists — carry //cadyvet:quiesce <why> on
+// (or above) the Finish call.
+var Overlap = &Analyzer{
+	Name: "overlap",
+	Doc:  "flag halo-exchange Finish calls that immediately follow their Begin, hiding no compute",
+}
+
+func init() { Overlap.Run = runOverlap }
+
+// isExchangerBegin reports whether the call statically resolves to
+// topo.Exchanger.Begin.
+func isExchangerBegin(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	return fn != nil && fn.Name() == "Begin" && methodOn(fn, "topo", "Exchanger")
+}
+
+// isPendingFinish reports whether the call statically resolves to
+// topo.Pending.Finish.
+func isPendingFinish(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	return fn != nil && fn.Name() == "Finish" && methodOn(fn, "topo", "Pending")
+}
+
+func runOverlap(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// Chained form: e.Begin(...).Finish().
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !isPendingFinish(p.Info, n) {
+					return true
+				}
+				if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok && isExchangerBegin(p.Info, inner) {
+					p.report(Overlap.Name, n.Pos(), dirQuiesce,
+						"Finish chained onto Begin completes the exchange with no interior compute overlapped; split them or waive with //cadyvet:quiesce <why>")
+				}
+			case *ast.BlockStmt:
+				reportAdjacentFinish(p, n.List)
+			case *ast.CaseClause:
+				reportAdjacentFinish(p, n.Body)
+			case *ast.CommClause:
+				reportAdjacentFinish(p, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// reportAdjacentFinish flags p.Finish() statements whose immediately
+// preceding statement assigned p from Exchanger.Begin.
+func reportAdjacentFinish(p *Pass, stmts []ast.Stmt) {
+	for i := 1; i < len(stmts); i++ {
+		fin, ok := stmts[i].(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := fin.X.(*ast.CallExpr)
+		if !ok || !isPendingFinish(p.Info, call) {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		asg, ok := stmts[i-1].(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			continue
+		}
+		lhs, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok || objectOf(p.Info, lhs) == nil || objectOf(p.Info, lhs) != objectOf(p.Info, recv) {
+			continue
+		}
+		rhs, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isExchangerBegin(p.Info, rhs) {
+			continue
+		}
+		p.report(Overlap.Name, fin.Pos(), dirQuiesce,
+			"Finish immediately follows its Begin with no interior compute between them; move independent work inside the window or waive with //cadyvet:quiesce <why>")
+	}
+}
+
+// objectOf resolves an identifier to its object via either the Defs (for
+// `:=` definitions) or Uses map.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,58 @@
+// Fixture for the overlap analyzer: Finish calls that immediately follow
+// their Begin (chained and adjacent-statement forms), the quiesce waiver,
+// and legitimately overlapped rounds.
+package overlap
+
+import "topo"
+
+func compute(fs [][]float64) {
+	for _, f := range fs {
+		for i := range f {
+			f[i] *= 0.5
+		}
+	}
+}
+
+func chained(e *topo.Exchanger, fs [][]float64) {
+	e.Begin(fs).Finish() // want "Finish chained onto Begin completes the exchange with no interior compute"
+}
+
+func adjacent(e *topo.Exchanger, fs [][]float64) {
+	p := e.Begin(fs)
+	p.Finish() // want "Finish immediately follows its Begin with no interior compute"
+}
+
+func overlapped(e *topo.Exchanger, fs [][]float64) {
+	p := e.Begin(fs)
+	compute(fs) // interior work inside the window
+	p.Finish()  // ok: the exchange hid the compute above
+}
+
+func waivedChained(e *topo.Exchanger, fs [][]float64) {
+	//cadyvet:quiesce bootstrap fill, no independent compute exists yet
+	e.Begin(fs).Finish()
+}
+
+func waivedAdjacent(e *topo.Exchanger, fs [][]float64) {
+	p := e.Begin(fs)
+	//cadyvet:quiesce ablation reference path blocks by design
+	p.Finish()
+}
+
+func branchAdjacent(e *topo.Exchanger, fs [][]float64, quiesce bool) {
+	if quiesce {
+		p := e.Begin(fs)
+		p.Finish() // want "Finish immediately follows its Begin"
+	} else {
+		p := e.Begin(fs)
+		compute(fs)
+		p.Finish() // ok
+	}
+}
+
+func otherPending(e *topo.Exchanger, fs [][]float64) {
+	p := e.Begin(fs)
+	q := e.Begin(fs)
+	p.Finish() // ok: completes the earlier round, not the adjacent Begin
+	q.Finish() // ok: separated from its Begin by p's completion
+}

@@ -14,6 +14,7 @@ type message struct {
 	src     int // communicator rank of the sender
 	tag     int
 	data    []float64
+	sentAt  float64 // sender's simulated time when the payload departed
 	availAt float64 // simulated time at which the payload is available
 }
 
@@ -112,6 +113,7 @@ func (c *Comm) sendInternal(dst, tag int, data []float64) {
 		src:     c.rank,
 		tag:     tag,
 		data:    payload,
+		sentAt:  c.stats.Clock,
 		availAt: c.stats.Clock + m.msgCost(bytes) + extraDelay,
 	})
 }
@@ -142,12 +144,18 @@ func (c *Comm) RecvInto(src, tag int, buf []float64) int {
 }
 
 // absorb advances the clock for a drained message: stall until availability,
-// then pay the receive-side overhead.
+// then pay the receive-side overhead. The portion of the message's flight
+// time the receiver did NOT stall for was hidden behind its own compute (or
+// other traffic), and is credited to Stats.HiddenTime; the stall itself is
+// the exposed wait, charged to CommTime as before.
 func (c *Comm) absorb(m message) {
 	mod := c.world.model
 	wait := m.availAt - c.stats.Clock
 	if wait < 0 {
 		wait = 0
+	}
+	if flight := m.availAt - m.sentAt; flight > wait {
+		c.stats.addHiddenTime(flight - wait)
 	}
 	c.stats.addCommTime(wait + mod.SendOverhead)
 }

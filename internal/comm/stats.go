@@ -54,6 +54,12 @@ type Stats struct {
 	// CommTime is simulated seconds spent in communication per category
 	// (send/receive overheads plus stall time waiting for messages).
 	CommTime [numCategories]float64
+	// HiddenTime is simulated seconds of message flight time that did NOT
+	// stall this rank: for every received message, the part of
+	// availAt−sentAt the receiver had already covered with its own work by
+	// the time it drained the message. It measures overlap; it does not
+	// advance the clock.
+	HiddenTime [numCategories]float64
 	// CompTime is simulated seconds of computation (Compute calls).
 	CompTime float64
 	// Clock is the rank's simulated time.
@@ -89,6 +95,22 @@ func (s *Stats) addCommTime(dt float64) {
 	s.CommTime[s.cat] += dt
 }
 
+// TotalHiddenTime returns the sum of HiddenTime over all categories.
+func (s *Stats) TotalHiddenTime() float64 {
+	t := 0.0
+	for _, v := range s.HiddenTime {
+		t += v
+	}
+	return t
+}
+
+// addHiddenTime credits dt seconds of overlapped (hidden) flight time to the
+// current category. The clock does not move: hidden time is by definition
+// time the rank spent doing something else.
+func (s *Stats) addHiddenTime(dt float64) {
+	s.HiddenTime[s.cat] += dt
+}
+
 // countColl records entry into a collective operation under the current
 // category.
 func (s *Stats) countColl() {
@@ -118,8 +140,12 @@ type Aggregate struct {
 	// CommTimeMax[cat] is the maximum over ranks of per-category simulated
 	// communication time; CompTimeMax and SimTime likewise.
 	CommTimeMax [numCategories]float64
-	CompTimeMax float64
-	SimTime     float64
+	// HiddenTimeMax[cat] is the maximum over ranks of per-category hidden
+	// (overlapped) flight time — seconds of communication the busiest rank
+	// covered with its own compute instead of stalling.
+	HiddenTimeMax [numCategories]float64
+	CompTimeMax   float64
+	SimTime       float64
 }
 
 // CommTime returns the critical-path communication time for a category.
@@ -133,6 +159,31 @@ func (a Aggregate) TotalCommTime() float64 {
 		t += v
 	}
 	return t
+}
+
+// HiddenTime returns the critical-path hidden (overlapped) communication
+// time for a category.
+func (a Aggregate) HiddenTime(cat Category) float64 { return a.HiddenTimeMax[cat] }
+
+// TotalHiddenTime returns the summed critical-path hidden time over
+// categories.
+func (a Aggregate) TotalHiddenTime() float64 {
+	t := 0.0
+	for _, v := range a.HiddenTimeMax {
+		t += v
+	}
+	return t
+}
+
+// OverlapFraction returns hidden/(hidden+exposed) over all categories: the
+// share of communication the critical-path ranks covered with compute. 0
+// when no communication happened.
+func (a Aggregate) OverlapFraction() float64 {
+	h, e := a.TotalHiddenTime(), a.TotalCommTime()
+	if h+e <= 0 {
+		return 0
+	}
+	return h / (h + e)
 }
 
 // CollectiveTime returns the combined z- and x-collective time (Figure 6's
@@ -179,6 +230,9 @@ func aggregate(comms []*Comm) Aggregate {
 			a.CollByCat[i] += s.CollByCat[i]
 			if s.CommTime[i] > a.CommTimeMax[i] {
 				a.CommTimeMax[i] = s.CommTime[i]
+			}
+			if s.HiddenTime[i] > a.HiddenTimeMax[i] {
+				a.HiddenTimeMax[i] = s.HiddenTime[i]
 			}
 		}
 		if s.CompTime > a.CompTimeMax {

@@ -1,6 +1,7 @@
 package dycore
 
 import (
+	"cadycore/internal/field"
 	"cadycore/internal/grid"
 	"cadycore/internal/state"
 	"cadycore/internal/stencil"
@@ -57,9 +58,14 @@ func NewBaseline(cfg Config, g *grid.Grid, tp *topo.Topology) *Baseline {
 	if tp.Py == 1 {
 		dys = 0
 	}
-	b.exStencil = tp.NewExchanger(dx, dy, dz)
-	b.exSmooth = tp.NewExchanger(dxs, dys, 0)
+	b.exStencil = tp.NewExchanger(dx, dy, dz).SetLabel("baseline-stencil")
+	b.exSmooth = tp.NewExchanger(dxs, dys, 0).SetLabel("baseline-smooth")
 	return b
+}
+
+// ExchStats reports per-exchanger overlap accounting.
+func (b *Baseline) ExchStats() []topo.ExchStats {
+	return []topo.ExchStats{b.exStencil.Stats(), b.exSmooth.Stats()}
 }
 
 // SetState overwrites the owned region of ξ (and refreshes boundaries and
@@ -93,12 +99,48 @@ func (b *Baseline) exchange(st *state.State) {
 }
 
 // adaptUpdate computes dst = base + Δt1·F̃(Ĉ(src) + Â(src)) on the owned
-// region, performing the halo exchange of src first.
+// region. The halo exchange of src overlaps the interior D(P) evaluation:
+// Begin → D(P) on the interior rect (whose stencil reads stay clear of
+// in-flight halo cells) → Finish → D(P) on the boundary slabs → one
+// z-collective over the owned block. D(P) is per-point pure, so the split
+// cover produces bitwise the monolithic sweep; under Config.NoOverlap the
+// exchange quiesces first and the slab cover degenerates to one owned-rect
+// call, reproducing the original operation sequence exactly.
 func (b *Baseline) adaptUpdate(dst, base, src *state.State) {
 	owned := b.tp.Block.Owned()
-	b.exchange(src)
-	b.updateSurface(src)
-	b.evalC(src, b.cNew, owned)
+	f3, f2 := b.exchangeFields(src)
+	pend := b.exStencil.Begin(f3, f2)
+	b.n.HaloExchanges++
+	var inner field.Rect
+	if b.cfg.NoOverlap {
+		//cadyvet:quiesce NoOverlap ablation: the quiesced reference path blocks by design
+		pend.Finish()
+		b.localFill(src)
+		b.updateSurface(src)
+	} else {
+		// The interior compute reads src's local ghosts (periodic x wrap,
+		// pole and vertical mirrors), which a step hook or resume may have
+		// left stale relative to the owned cells — the quiesced path hides
+		// this by refilling after the blocking exchange. Refill them before
+		// touching the interior; the post-Finish refill below then only
+		// refreshes the ghosts derived from the received halo rows.
+		b.localFill(src)
+		// Surface diagnostics from the pre-exchange p'_sa: interior reads
+		// stay within the owned region, where the values are current; the
+		// halo cells are recomputed (uncharged) after Finish.
+		b.updateSurface(src)
+		inner = b.shrinkByDepths(owned, b.exStencil.ExchangeDepths())
+		if !inner.Empty() {
+			b.evalDivP(src, inner)
+		}
+		pend.Finish()
+		b.localFill(src)
+		b.refreshSurface(src)
+	}
+	for _, s := range b.slabs(owned, inner) {
+		b.evalDivP(src, s)
+	}
+	b.sumC(b.cNew, owned)
 	b.adaptTendency(src, b.cNew, owned)
 	b.filterTendency(owned)
 	b.applyUpdate(dst, base, b.cfg.Dt1, owned)
@@ -106,12 +148,34 @@ func (b *Baseline) adaptUpdate(dst, base, src *state.State) {
 	b.cLast, b.cNew = b.cNew, b.cLast
 }
 
-// advectUpdate computes dst = base + Δt2·F̃(L̃(src)) on the owned region.
+// advectUpdate computes dst = base + Δt2·F̃(L̃(src)) on the owned region,
+// overlapping the halo exchange with the interior advection tendency the
+// same way adaptUpdate overlaps D(P).
 func (b *Baseline) advectUpdate(dst, base, src *state.State) {
 	owned := b.tp.Block.Owned()
-	b.exchange(src)
-	b.updateSurface(src)
-	b.advectTendency(src, b.cLast, owned)
+	f3, f2 := b.exchangeFields(src)
+	pend := b.exStencil.Begin(f3, f2)
+	b.n.HaloExchanges++
+	var inner field.Rect
+	if b.cfg.NoOverlap {
+		//cadyvet:quiesce NoOverlap ablation: the quiesced reference path blocks by design
+		pend.Finish()
+		b.localFill(src)
+		b.updateSurface(src)
+	} else {
+		b.localFill(src) // see adaptUpdate: entry ghosts may be hook-stale
+		b.updateSurface(src)
+		inner = b.shrinkByDepths(owned, b.exStencil.ExchangeDepths())
+		if !inner.Empty() {
+			b.advectTendency(src, b.cLast, inner)
+		}
+		pend.Finish()
+		b.localFill(src)
+		b.refreshSurface(src)
+	}
+	for _, s := range b.slabs(owned, inner) {
+		b.advectTendency(src, b.cLast, s)
+	}
 	b.filterTendency(owned)
 	b.applyUpdate(dst, base, b.cfg.Dt2, owned)
 }
@@ -139,13 +203,29 @@ func (b *Baseline) Step() {
 	b.mid.FillLocalBounds()
 	b.advectUpdate(b.psi, b.psi, b.mid) // ζ3
 
-	// Smoothing with its own exchange.
+	// Smoothing with its own exchange, overlapped with the interior sweep:
+	// S̃ reads ψ and writes ξ, so the interior rect (clear of ψ's in-flight
+	// halo rows) smooths while the messages fly and the boundary slabs
+	// follow after Finish. Per-point pure → bitwise the monolithic sweep.
 	f3, f2 := b.exchangeFields(b.psi)
-	b.exSmooth.Exchange(f3, f2)
+	pend := b.exSmooth.Begin(f3, f2)
 	b.n.HaloExchanges++
+	var inner field.Rect
+	if !b.cfg.NoOverlap {
+		b.localFill(b.psi) // see adaptUpdate: entry ghosts may be hook-stale
+		inner = b.shrinkByDepths(owned, b.exSmooth.ExchangeDepths())
+		if !inner.Empty() {
+			w := b.smo.SmoothFull(b.psi, b.xi, inner)
+			b.w.Compute(float64(w) * costSmooth)
+		}
+	}
+	//cadyvet:quiesce under NoOverlap the inner rect is empty and this Finish is the quiesced reference path
+	pend.Finish()
 	b.localFill(b.psi)
-	w := b.smo.SmoothFull(b.psi, b.xi, owned)
-	b.w.Compute(float64(w) * costSmooth)
+	for _, s := range b.slabs(owned, inner) {
+		w := b.smo.SmoothFull(b.psi, b.xi, s)
+		b.w.Compute(float64(w) * costSmooth)
+	}
 	b.n.SmoothingCalls++
 	b.localFill(b.xi)
 

@@ -32,16 +32,18 @@ import (
 // The Config ablation switches disable each ingredient individually.
 type CommAvoid struct {
 	*core
-	deepEx  *topo.Exchanger // adaptation exchange: (0, 3M+2, 3M)
+	deepEx  *topo.Exchanger // adaptation exchange: (0, 3·S+2, 3·S), S = StageDepth
 	bandEx  *topo.Exchanger // original edge rows for S̃2 (the "yellow bar")
 	advEx   *topo.Exchanger // advection exchange: (0, 3, 3)
 	smEx    *topo.Exchanger // plain smoothing exchange (ablation/Finalize)
+	stageEx *topo.Exchanger // mid-phase refresh exchange (staged mode only)
 	origPhi *field.F3       // pre-smoothing Φ for the latter smoothing
 	origPsa *field.F2
 	bandF3  [1]*field.F3 // prebuilt payload slices for the band exchange
 	bandF2  [1]*field.F2
 
-	depthY, depthZ int // valid halo depth after the adaptation exchange (= 3M)
+	depthY, depthZ int // valid halo depth after the adaptation exchange (= 3·S)
+	stage          int // iterations per exchange round (0 = unstaged: all M)
 	finalized      bool
 	// resumed marks ξ as a mid-trajectory restart state whose deferred
 	// smoothing is still pending (see SetResumedState).
@@ -69,13 +71,15 @@ func CommAvoidHalo(m int) (hx, hy, hz int) {
 func BaselineHalo() (hx, hy, hz int) { return baselineHalo() }
 
 // NewCommAvoid builds the communication-avoiding integrator. The topology
-// must use p_x = 1 and halo widths from CommAvoidHalo(cfg.M); blocks must be
-// at least 3 rows/layers thick so the overlap inner region is well formed.
+// must use p_x = 1 and halo widths from CommAvoidHalo(cfg.StageDepth());
+// blocks must be at least 3 rows/layers thick so the overlap inner region is
+// well formed.
 func NewCommAvoid(cfg Config, g *grid.Grid, tp *topo.Topology) *CommAvoid {
 	if tp.Px != 1 {
 		panic("dycore: the communication-avoiding algorithm requires the Y-Z decomposition (p_x = 1)")
 	}
-	_, hy, hz := CommAvoidHalo(cfg.M)
+	sd := cfg.StageDepth()
+	_, hy, hz := CommAvoidHalo(sd)
 	if tp.Block.Hy < hy || tp.Block.Hz < hz {
 		panic(fmt.Sprintf("dycore: halo widths (%d,%d) too small for CommAvoid (need %d,%d)",
 			tp.Block.Hy, tp.Block.Hz, hy, hz))
@@ -83,6 +87,9 @@ func NewCommAvoid(cfg Config, g *grid.Grid, tp *topo.Topology) *CommAvoid {
 	ca := &CommAvoid{core: newCore(cfg, g, tp)}
 	ca.depthY = hy - 2 // smoothing consumes the outermost 2 y rows
 	ca.depthZ = hz
+	if cfg.Staged() {
+		ca.stage = sd
+	}
 
 	rAdv := stencil.RadiusOf(stencil.Advection)
 	dyAdv, dzAdv := 3*rAdv.Y, 3*rAdv.Z
@@ -98,20 +105,39 @@ func NewCommAvoid(cfg Config, g *grid.Grid, tp *topo.Topology) *CommAvoid {
 	// only), so the deep halo extends toward higher k only; this is the
 	// shape of the paper's Figure 4 halo areas.
 	deep := topo.Depths{X: 0, YLo: hy, YHi: hy, ZLo: 0, ZHi: hz}
-	ca.deepEx = tp.NewExchangerD(deep)
-	ca.bandEx = tp.NewBandExchangerY(deep, 2)
-	ca.advEx = tp.NewExchanger(0, dyAdv, dzAdv)
+	ca.deepEx = tp.NewExchangerD(deep).SetLabel("ca-deep")
+	ca.bandEx = tp.NewBandExchangerY(deep, 2).SetLabel("ca-band")
+	ca.advEx = tp.NewExchanger(0, dyAdv, dzAdv).SetLabel("ca-adv")
 	dys := stencil.RadiusOf(stencil.Smoothing).Y
 	if tp.Py == 1 {
 		dys = 0
 	}
-	ca.smEx = tp.NewExchanger(0, dys, 0)
+	ca.smEx = tp.NewExchanger(0, dys, 0).SetLabel("ca-smooth")
+	if ca.stage > 0 {
+		// The refresh exchange restores the full adaptation depth (3·S per
+		// side in y, one-sided 3·S in z) without the smoothing rows — the
+		// fused smoothing is settled by the first (deep) exchange of the step.
+		sy, sz := hy, hz
+		if sy > 0 {
+			sy -= 2
+		}
+		ca.stageEx = tp.NewExchangerD(topo.Depths{YLo: sy, YHi: sy, ZHi: sz}).SetLabel("ca-stage")
+	}
 	ca.origPhi = field.NewF3(tp.Block)
 	ca.origPsa = field.NewF2(tp.Block)
 	ca.availYFn = ca.availY
 	ca.bandF3[0] = ca.origPhi
 	ca.bandF2[0] = ca.origPsa
 	return ca
+}
+
+// ExchStats reports per-exchanger overlap accounting.
+func (ca *CommAvoid) ExchStats() []topo.ExchStats {
+	out := []topo.ExchStats{ca.deepEx.Stats(), ca.bandEx.Stats(), ca.advEx.Stats(), ca.smEx.Stats()}
+	if ca.stageEx != nil {
+		out = append(out, ca.stageEx.Stats())
+	}
+	return out
 }
 
 // SetState overwrites ξ and bootstraps halos and the initial Ĉ cache
@@ -245,6 +271,12 @@ func (ca *CommAvoid) Step() {
 	// fresh post-exchange Ĉ, so the overlap is skipped for that update.
 	r1 := ca.region(1)
 	var inner field.Rect
+	if !ca.cfg.NoOverlap && !ca.cfg.ExactC {
+		// Interior reads must not see hook- or resume-stale local ghosts
+		// (see Baseline.adaptUpdate); the quiesced path refills after the
+		// blocking Finish instead.
+		ca.localFill(ca.xi)
+	}
 	ca.updateSurface(ca.xi)
 	if !ca.cfg.NoOverlap && !ca.cfg.ExactC {
 		dIn := 1 // one stencil radius inside the owned block
@@ -316,16 +348,63 @@ func (ca *CommAvoid) Step() {
 			// η1 of iteration i: reuse Ĉ from the previous iteration's
 			// midpoint state (the stand-in for Ĉ(ψ^{i−2})) unless ExactC.
 			u++
-			r := ca.region(u)
-			ca.updateSurface(ca.psi)
-			cr := ca.cLast
-			if ca.cfg.ExactC {
-				ca.evalC(ca.psi, ca.cNew, r)
-				cr = ca.cNew
+			if ca.stage > 0 && (i-1)%ca.stage == 0 {
+				// Staged mode: the shallow halo is exhausted after `stage`
+				// iterations. Refresh it with a ψ exchange (the cached Ĉ
+				// rides along, so the lagged η1 inputs regain full halo
+				// depth too), overlapped with the η1 interior tendency the
+				// same way the step's first exchange overlaps.
+				u = 1
+				r := ca.region(u)
+				f3s, f2s := ca.exchangeFields(ca.psi)
+				spend := ca.stageEx.Begin(f3s, f2s)
+				ca.n.HaloExchanges++
+				if !ca.cfg.NoOverlap && !ca.cfg.ExactC {
+					ca.localFill(ca.psi) // see Baseline.adaptUpdate
+				}
+				ca.updateSurface(ca.psi)
+				sInner := field.Rect{}
+				if !ca.cfg.NoOverlap && !ca.cfg.ExactC {
+					sInner = owned
+					if sInner.J0 != 0 {
+						sInner.J0++
+					}
+					if sInner.J1 != ca.g.Ny {
+						sInner.J1--
+					}
+					if sInner.K1 != ca.g.Nz {
+						sInner.K1--
+					}
+					if !sInner.Empty() {
+						ca.adaptTendency(ca.psi, ca.cLast, sInner)
+						ca.filterTendency(sInner)
+					}
+				}
+				spend.Finish()
+				ca.localFill(ca.psi)
+				ca.refreshSurface(ca.psi)
+				cr := ca.cLast
+				if ca.cfg.ExactC {
+					ca.evalC(ca.psi, ca.cNew, r)
+					cr = ca.cNew
+				}
+				for _, s := range ca.slabs(r, sInner) {
+					ca.adaptTendency(ca.psi, cr, s)
+					ca.filterTendency(s)
+				}
+				ca.applyUpdate(ca.eta1, ca.psi, ca.cfg.Dt1, r)
+			} else {
+				r := ca.region(u)
+				ca.updateSurface(ca.psi)
+				cr := ca.cLast
+				if ca.cfg.ExactC {
+					ca.evalC(ca.psi, ca.cNew, r)
+					cr = ca.cNew
+				}
+				ca.adaptTendency(ca.psi, cr, r)
+				ca.filterTendency(r)
+				ca.applyUpdate(ca.eta1, ca.psi, ca.cfg.Dt1, r)
 			}
-			ca.adaptTendency(ca.psi, cr, r)
-			ca.filterTendency(r)
-			ca.applyUpdate(ca.eta1, ca.psi, ca.cfg.Dt1, r)
 		}
 
 		// η2 = ψ + Δt1·F̃(Ĉ(η1) + Â(η1))
@@ -355,6 +434,9 @@ func (ca *CommAvoid) Step() {
 	f3, f2 = ca.exchangeFields(ca.psi)
 	pend = ca.advEx.Begin(f3, f2)
 	ca.n.HaloExchanges++
+	if !ca.cfg.NoOverlap {
+		ca.localFill(ca.psi) // see Baseline.adaptUpdate
+	}
 	ca.updateSurface(ca.psi)
 	rz1 := ca.advRegion(2)
 	inner = field.Rect{}
@@ -407,15 +489,35 @@ func (ca *CommAvoid) advRegion(depth int) field.Rect {
 }
 
 // plainSmooth applies full smoothing with its own exchange (ablation path
-// and Finalize).
+// and Finalize). The pre-smoothing state is snapshotted into ψ first so the
+// exchange can target ψ directly: received halo rows then land in the field
+// the smoothing reads, and the interior sweep (which only reads rows the
+// exchange does not touch) overlaps the messages in flight.
 func (ca *CommAvoid) plainSmooth() {
-	f3, f2 := ca.exchangeFields(ca.xi)
-	ca.smEx.Exchange(f3, f2)
-	ca.n.HaloExchanges++
-	ca.localFill(ca.xi)
+	owned := ca.tp.Block.Owned()
 	ca.psi.CopyFrom(ca.xi)
-	w := ca.smo.SmoothFull(ca.psi, ca.xi, ca.tp.Block.Owned())
-	ca.w.Compute(float64(w) * costSmooth)
+	f3, f2 := ca.exchangeFields(ca.psi)
+	pend := ca.smEx.Begin(f3, f2)
+	ca.n.HaloExchanges++
+	var inner field.Rect
+	if !ca.cfg.NoOverlap {
+		// ψ was copied from ξ after the step hook may have mutated the
+		// owned cells, so its local ghosts can be stale (see
+		// Baseline.adaptUpdate); the interior sweep must not read them.
+		ca.localFill(ca.psi)
+		inner = ca.shrinkByDepths(owned, ca.smEx.ExchangeDepths())
+		if !inner.Empty() {
+			w := ca.smo.SmoothFull(ca.psi, ca.xi, inner)
+			ca.w.Compute(float64(w) * costSmooth)
+		}
+	}
+	//cadyvet:quiesce under NoOverlap the inner rect is empty and this Finish is the quiesced reference path
+	pend.Finish()
+	ca.localFill(ca.psi)
+	for _, s := range ca.slabs(owned, inner) {
+		w := ca.smo.SmoothFull(ca.psi, ca.xi, s)
+		ca.w.Compute(float64(w) * costSmooth)
+	}
 	ca.n.SmoothingCalls++
 	ca.localFill(ca.xi)
 }

@@ -63,7 +63,29 @@ type Config struct {
 	// runs at the end of each step with its own halo exchange, like the
 	// baseline.
 	NoFusedSmoothing bool
+
+	// StageM selects the staged-exchange mode of the communication-avoiding
+	// algorithm: the halo is sized for StageM nonlinear iterations (depth
+	// 3·StageM instead of 3·M) and a shallower refresh exchange runs every
+	// StageM iterations, each overlapped with the following η1 interior
+	// computation. 0 — or any value ≥ M — disables staging (one deep halo
+	// covers the whole adaptation phase). The mode trades halo redundancy
+	// (ghost-zone compute and bytes grow with depth) against exchange count;
+	// the autotuner searches the crossover.
+	StageM int
 }
+
+// StageDepth returns the halo-sizing iteration count: StageM when staging is
+// active (0 < StageM < M), M otherwise.
+func (c Config) StageDepth() int {
+	if c.StageM > 0 && c.StageM < c.M {
+		return c.StageM
+	}
+	return c.M
+}
+
+// Staged reports whether the staged-exchange mode is active.
+func (c Config) Staged() bool { return c.StageDepth() < c.M }
 
 // DefaultConfig returns the paper's configuration (M = 3) with time steps
 // that satisfy the gravity-wave CFL condition of the given resolution scale
@@ -92,6 +114,9 @@ func (c Config) Validate() {
 	}
 	if c.Workers < 0 {
 		panic("dycore: Workers must be ≥ 0")
+	}
+	if c.StageM < 0 {
+		panic("dycore: StageM must be ≥ 0")
 	}
 }
 

@@ -188,6 +188,16 @@ func (c *core) fillCBounds(cr *operators.CRes) {
 // z-collective summation into dst. The caller must have called
 // c.sur.Update(src.Psa) since the last change of src.Psa.
 func (c *core) evalC(src *state.State, dst *operators.CRes, r field.Rect) {
+	c.evalDivP(src, r)
+	c.sumC(dst, r)
+}
+
+// evalDivP computes the pointwise divergence term D(P) of Ĉ at src over r
+// into c.divp. It is the communication-free half of evalC, split out so the
+// overlap path can run it on the interior rect while halo messages fly and
+// on the boundary slabs afterwards — D(P) is per-point pure, so any disjoint
+// cover of r produces bitwise the monolithic result.
+func (c *core) evalDivP(src *state.State, r field.Rect) {
 	var w1 int
 	if c.cfg.Workers <= 1 {
 		w1 = operators.DivP(c.g, src.U, src.V, c.sur, c.divp, r)
@@ -198,6 +208,13 @@ func (c *core) evalC(src *state.State, dst *operators.CRes, r field.Rect) {
 		})
 	}
 	c.w.Compute(float64(w1) * costDivP)
+}
+
+// sumC completes Ĉ from the precomputed c.divp over r: the z-collective
+// summation into dst. One call = one z-collective round, so the overlap
+// split (which covers r with evalDivP pieces but sums once) keeps the
+// algorithm's collective count identical to the monolithic path.
+func (c *core) sumC(dst *operators.CRes, r field.Rect) {
 	w2 := operators.CSumWith(c.g, c.tp.ColZ, c.w, c.divp, dst, r, r.K0, r.K1, &c.csSc)
 	c.w.Compute(float64(w2) * costCSum)
 	c.fillCBounds(dst)
@@ -208,6 +225,16 @@ func (c *core) evalC(src *state.State, dst *operators.CRes, r field.Rect) {
 func (c *core) updateSurface(src *state.State) {
 	w := c.sur.Update(src.Psa)
 	c.w.Compute(float64(w) * costSurface)
+}
+
+// refreshSurface is updateSurface without the clock charge. The overlap path
+// uses it after Finish: the charged pre-exchange update already priced the
+// pointwise work, but the halo cells it computed from stale p'_sa must be
+// recomputed from the received values before any boundary-slab kernel reads
+// them. The owned cells recompute to bitwise the same values, so the final
+// surface equals the monolithic path's.
+func (c *core) refreshSurface(src *state.State) {
+	c.sur.Update(src.Psa)
 }
 
 // adaptTendency evaluates Â(src) + the Ĉ contributions from cres over r
@@ -316,6 +343,32 @@ func (c *core) shrinkInternal(r field.Rect, dy, dz int) field.Rect {
 	}
 	if r.K1 != c.g.Nz {
 		r.K1 -= dz
+	}
+	return r
+}
+
+// shrinkByDepths shrinks r by an exchanger's per-side depths on every side
+// that is fed by communication: both x sides whenever the exchanger carries
+// x traffic (longitude is periodic, so both sides are remote), and the y/z
+// sides that are not global domain boundaries (those are mirror-filled
+// locally and stay valid while messages fly). The result is the interior
+// rect whose stencil reads cannot touch in-flight halo cells.
+func (c *core) shrinkByDepths(r field.Rect, d topo.Depths) field.Rect {
+	if d.X > 0 {
+		r.I0 += d.X
+		r.I1 -= d.X
+	}
+	if r.J0 != 0 {
+		r.J0 += d.YLo
+	}
+	if r.J1 != c.g.Ny {
+		r.J1 -= d.YHi
+	}
+	if r.K0 != 0 {
+		r.K0 += d.ZLo
+	}
+	if r.K1 != c.g.Nz {
+		r.K1 -= d.ZHi
 	}
 	return r
 }

@@ -81,10 +81,12 @@ func (s Setup) procGrid() (px, py, pz int) {
 	}
 }
 
-// HaloWidths returns the halo allocation the setup requires.
+// HaloWidths returns the halo allocation the setup requires. For the
+// comm-avoiding algorithm the depth follows the staged-exchange depth (=
+// Cfg.M unless 0 < StageM < M selects shallower, more frequent exchanges).
 func (s Setup) HaloWidths() (hx, hy, hz int) {
 	if s.Alg == AlgCommAvoid {
-		return CommAvoidHalo(s.Cfg.M)
+		return CommAvoidHalo(s.Cfg.StageDepth())
 	}
 	return BaselineHalo()
 }
@@ -121,11 +123,22 @@ type ResumeSetter interface {
 // InitFunc fills a rank's initial state from pointwise profiles.
 type InitFunc func(g *grid.Grid, st *state.State)
 
+// ExchReporter is implemented by integrators that report per-exchanger
+// overlap statistics (topo.ExchStats per constructed Exchanger).
+type ExchReporter interface {
+	ExchStats() []topo.ExchStats
+}
+
 // RunResult carries everything a driver collects from one parallel run.
 type RunResult struct {
-	Setup  Setup
-	Agg    comm.Aggregate
-	Count  Counters
+	Setup Setup
+	Agg   comm.Aggregate
+	Count Counters
+	// Exch aggregates per-exchanger overlap accounting over ranks: Begin and
+	// Finish counts are summed, exposed/hidden seconds are maximized (the
+	// critical-path convention of comm.Aggregate). Ordered as the
+	// integrators construct their exchangers.
+	Exch   []topo.ExchStats
 	Finals []*state.State // per-rank final states (rank order)
 	// StepsDone is the number of steps actually executed: equal to the
 	// requested count unless RunOpts.ShouldStop ended the run early, or —
@@ -205,6 +218,7 @@ func runOnWorld(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps
 	hook := opts.Hook
 	finals := make([]*state.State, p)
 	counts := make([]Counters, p)
+	exch := make([][]topo.ExchStats, p)
 	done := make([]int, p)
 	var abort *RankFailure
 	func() {
@@ -262,6 +276,9 @@ func runOnWorld(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps
 			ig.Finalize()
 			finals[c.Rank()] = ig.Xi()
 			counts[c.Rank()] = ig.Counters()
+			if er, ok := ig.(ExchReporter); ok {
+				exch[c.Rank()] = er.ExchStats()
+			}
 		})
 	}()
 	if abort != nil {
@@ -273,7 +290,41 @@ func runOnWorld(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps
 		}
 		return RunResult{Setup: s, Agg: w.Stats(), StepsDone: minDone, Abort: abort}, rec
 	}
-	return RunResult{Setup: s, Agg: w.Stats(), Count: counts[0], Finals: finals, StepsDone: done[0]}, rec
+	return RunResult{Setup: s, Agg: w.Stats(), Count: counts[0], Exch: mergeExch(exch),
+		Finals: finals, StepsDone: done[0]}, rec
+}
+
+// mergeExch folds per-rank exchanger statistics into one list: counts are
+// summed over ranks, exposed/hidden seconds maximized (critical path). Every
+// rank constructs the same exchangers in the same order, so merging is
+// positional.
+func mergeExch(perRank [][]topo.ExchStats) []topo.ExchStats {
+	var out []topo.ExchStats
+	for _, es := range perRank {
+		if es == nil {
+			continue
+		}
+		if out == nil {
+			out = make([]topo.ExchStats, len(es))
+			copy(out, es)
+			continue
+		}
+		for i := range es {
+			if i >= len(out) {
+				out = append(out, es[i])
+				continue
+			}
+			out[i].Begins += es[i].Begins
+			out[i].Finishes += es[i].Finishes
+			if es[i].ExposedSec > out[i].ExposedSec {
+				out[i].ExposedSec = es[i].ExposedSec
+			}
+			if es[i].HiddenSec > out[i].HiddenSec {
+				out[i].HiddenSec = es[i].HiddenSec
+			}
+		}
+	}
+	return out
 }
 
 // GatherOwned assembles the owned regions of per-rank fields into a single

@@ -53,10 +53,14 @@ type JobSpec struct {
 	PB int `json:"pb,omitempty"`
 	PC int `json:"pc,omitempty"`
 
-	M     int     `json:"m,omitempty"`
-	Steps int     `json:"steps,omitempty"`
-	Dt1   float64 `json:"dt1,omitempty"`
-	Dt2   float64 `json:"dt2,omitempty"`
+	M int `json:"m,omitempty"`
+	// StageM is the staged-exchange halo depth for ca runs: 0 (default)
+	// sizes the deep halo for all M iterations; 0 < stage_m < M sizes it
+	// for stage_m iterations and refreshes it with overlapped exchanges.
+	StageM int     `json:"stage_m,omitempty"`
+	Steps  int     `json:"steps,omitempty"`
+	Dt1    float64 `json:"dt1,omitempty"`
+	Dt2    float64 `json:"dt2,omitempty"`
 
 	// HeldSuarez applies the Held–Suarez forcing between steps (default
 	// true, like cmd/dycore).
@@ -127,6 +131,12 @@ func (sp *JobSpec) Normalize() error {
 	if sp.M < 1 || sp.M > 10 {
 		return fmt.Errorf("m = %d outside [1, 10]", sp.M)
 	}
+	if sp.StageM < 0 || sp.StageM > sp.M {
+		return fmt.Errorf("stage_m = %d outside [0, m=%d]", sp.StageM, sp.M)
+	}
+	if sp.StageM != 0 && sp.Kind == "run" && sp.Alg != "" && sp.Alg != "ca" {
+		return fmt.Errorf("stage_m is only meaningful for alg \"ca\" (got %q)", sp.Alg)
+	}
 	if sp.Steps < 1 || sp.Steps > maxSteps {
 		return fmt.Errorf("steps = %d outside [1, %d]", sp.Steps, maxSteps)
 	}
@@ -172,6 +182,9 @@ func (sp *JobSpec) Normalize() error {
 		}
 		if sp.PA != 0 || sp.PB != 0 || sp.PC != 0 {
 			return fmt.Errorf("layout \"auto\" plans the process grid; leave pa/pb/pc empty")
+		}
+		if sp.StageM != 0 {
+			return fmt.Errorf("layout \"auto\" plans the stage depth; leave stage_m empty")
 		}
 		if sp.Procs == 0 {
 			sp.Procs = 4
@@ -242,6 +255,7 @@ func (sp *JobSpec) Normalize() error {
 func (sp JobSpec) config() dycore.Config {
 	cfg := dycore.DefaultConfig()
 	cfg.M = sp.M
+	cfg.StageM = sp.StageM
 	cfg.Dt1, cfg.Dt2 = sp.Dt1, sp.Dt2
 	return cfg
 }

@@ -3,8 +3,12 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"cadycore/internal/dycore"
 )
 
 // metrics holds the service counters exported at GET /metrics in the
@@ -26,6 +30,43 @@ type metrics struct {
 	rankFailures  atomic.Int64
 	restarts      atomic.Int64
 	persistErrors atomic.Int64
+
+	// communication-overlap accounting, accumulated from every run
+	// segment's critical-path statistics (guarded by exchMu).
+	exchMu     sync.Mutex
+	exposedSec float64
+	hiddenSec  float64
+	exch       map[string]*exchTotals
+}
+
+// exchTotals accumulates one exchanger label's overlap accounting across
+// run segments.
+type exchTotals struct {
+	begins, finishes      int64
+	hiddenSec, exposedSec float64
+}
+
+// observeRun folds one run segment's overlap statistics into the service
+// totals: world-level hidden/exposed seconds plus the per-exchanger split.
+func (m *metrics) observeRun(res dycore.RunResult) {
+	m.exchMu.Lock()
+	defer m.exchMu.Unlock()
+	m.exposedSec += res.Agg.TotalCommTime()
+	m.hiddenSec += res.Agg.TotalHiddenTime()
+	if m.exch == nil {
+		m.exch = make(map[string]*exchTotals)
+	}
+	for _, ex := range res.Exch {
+		t := m.exch[ex.Label]
+		if t == nil {
+			t = &exchTotals{}
+			m.exch[ex.Label] = t
+		}
+		t.begins += ex.Begins
+		t.finishes += ex.Finishes
+		t.hiddenSec += ex.HiddenSec
+		t.exposedSec += ex.ExposedSec
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -88,6 +129,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP cady_persist_errors_total Durable writes (spec, meta, checkpoint) that failed.")
 	p("# TYPE cady_persist_errors_total counter")
 	p("cady_persist_errors_total %d", s.met.persistErrors.Load())
+
+	s.met.exchMu.Lock()
+	p("# HELP cady_comm_exposed_seconds_total Simulated communication seconds on the critical path, summed over run segments.")
+	p("# TYPE cady_comm_exposed_seconds_total counter")
+	p("cady_comm_exposed_seconds_total %g", s.met.exposedSec)
+	p("# HELP cady_comm_hidden_seconds_total Simulated communication seconds hidden behind interior compute, summed over run segments.")
+	p("# TYPE cady_comm_hidden_seconds_total counter")
+	p("cady_comm_hidden_seconds_total %g", s.met.hiddenSec)
+	p("# HELP cady_comm_overlap_fraction Hidden share of all simulated communication time.")
+	p("# TYPE cady_comm_overlap_fraction gauge")
+	if tot := s.met.exposedSec + s.met.hiddenSec; tot > 0 {
+		p("cady_comm_overlap_fraction %g", s.met.hiddenSec/tot)
+	} else {
+		p("cady_comm_overlap_fraction 0")
+	}
+	labels := make([]string, 0, len(s.met.exch))
+	//cadyvet:unordered key collection only; the emission loop below iterates the sorted slice
+	for l := range s.met.exch {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	p("# HELP cady_exchanger_begins_total Halo-exchange Begin calls by exchanger.")
+	p("# TYPE cady_exchanger_begins_total counter")
+	for _, l := range labels {
+		p("cady_exchanger_begins_total{exchanger=%q} %d", l, s.met.exch[l].begins)
+	}
+	p("# HELP cady_exchanger_finishes_total Halo-exchange Finish calls by exchanger.")
+	p("# TYPE cady_exchanger_finishes_total counter")
+	for _, l := range labels {
+		p("cady_exchanger_finishes_total{exchanger=%q} %d", l, s.met.exch[l].finishes)
+	}
+	p("# HELP cady_exchanger_hidden_seconds_total Simulated seconds of exchange flight hidden behind compute, by exchanger.")
+	p("# TYPE cady_exchanger_hidden_seconds_total counter")
+	for _, l := range labels {
+		p("cady_exchanger_hidden_seconds_total{exchanger=%q} %g", l, s.met.exch[l].hiddenSec)
+	}
+	p("# HELP cady_exchanger_exposed_seconds_total Simulated seconds of exchange time charged to rank clocks, by exchanger.")
+	p("# TYPE cady_exchanger_exposed_seconds_total counter")
+	for _, l := range labels {
+		p("cady_exchanger_exposed_seconds_total{exchanger=%q} %g", l, s.met.exch[l].exposedSec)
+	}
+	s.met.exchMu.Unlock()
 
 	p("# HELP cady_steps_total Dynamical-core steps completed across all jobs.")
 	p("# TYPE cady_steps_total counter")

@@ -535,6 +535,7 @@ func (s *Server) runJob(j *Job) {
 		opts.CrashAt = inj.CrashFunc(segBase)
 	}
 	res, _ := dycore.RunWithOpts(set, g, s.model, init, remaining, opts)
+	s.met.observeRun(res)
 
 	if res.Abort != nil {
 		s.handleAbort(j, res)
@@ -713,6 +714,10 @@ func validatePlanned(sp JobSpec, p tune.Plan) error {
 	v.Alg = string(p.Scheme)
 	v.PA, v.PB, v.PC = p.PA, p.PB, 0
 	v.M = p.M
+	v.StageM = 0
+	if p.Scheme == tune.SchemeCA {
+		v.StageM = p.Stage
+	}
 	return v.Normalize()
 }
 

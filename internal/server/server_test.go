@@ -172,6 +172,13 @@ func TestSubmitRunsToCompletion(t *testing.T) {
 		"cady_queue_capacity 8",
 		"cady_workers 2",
 		"cady_steps_total 2",
+		"cady_comm_exposed_seconds_total",
+		"cady_comm_hidden_seconds_total",
+		"cady_comm_overlap_fraction",
+		"cady_exchanger_begins_total{exchanger=",
+		"cady_exchanger_finishes_total{exchanger=",
+		"cady_exchanger_hidden_seconds_total{exchanger=",
+		"cady_exchanger_exposed_seconds_total{exchanger=",
 	} {
 		if !strings.Contains(met, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, met)

@@ -20,18 +20,35 @@ import (
 // paper counts ≈20 point-to-point operations per communication because ξ has
 // ten components).
 type Exchanger struct {
-	t     *Topology
-	d     Depths
-	bandY int // >0: restrict traffic to the sender's y-edge bands
-	peers      []peer // F3 exchange partners, sorted by rank
-	peers2     []peer // F2 exchange partners (horizontal footprint, same Cz)
-	maxCount   int    // largest single-field message length (for buffers)
+	t        *Topology
+	d        Depths
+	bandY    int    // >0: restrict traffic to the sender's y-edge bands
+	peers    []peer // F3 exchange partners, sorted by rank
+	peers2   []peer // F2 exchange partners (horizontal footprint, same Cz)
+	maxCount int    // largest single-field message length (for buffers)
 
 	// Persistent pack/unpack buffers and Pending, so steady-state exchanges
 	// allocate nothing. At most one exchange may be outstanding per
 	// Exchanger (Begin … Finish); integrators satisfy this by construction.
 	sendBuf, recvBuf []float64
 	pend             Pending
+
+	stats ExchStats
+}
+
+// ExchStats is one Exchanger's overlap accounting: how many rounds it ran
+// and how much of its communication time the owning rank exposed (stalled
+// for) vs. hid behind compute issued between Begin and Finish. Seconds are
+// simulated (LogP) time.
+type ExchStats struct {
+	Label            string
+	Begins, Finishes int64
+	// ExposedSec is communication time charged to the rank's clock inside
+	// this exchanger's Begin and Finish calls (send overheads + residual
+	// waits). HiddenSec is message flight time that was already covered by
+	// the rank's own work when Finish drained the receives.
+	ExposedSec float64
+	HiddenSec  float64
 }
 
 // peer describes the traffic with one neighboring rank. sendRects are in
@@ -52,9 +69,9 @@ type peer struct {
 // one-sided in z (they read k and k+1, never k−1), so the deep halo of the
 // communication-avoiding algorithm only extends toward higher k.
 type Depths struct {
-	X          int // symmetric (longitude is periodic and symmetric)
-	YLo, YHi   int
-	ZLo, ZHi   int
+	X        int // symmetric (longitude is periodic and symmetric)
+	YLo, YHi int
+	ZLo, ZHi int
 }
 
 // Sym returns symmetric depths.
@@ -295,6 +312,16 @@ type Pending struct {
 	f2s []*field.F2
 }
 
+// SetLabel names the exchanger for per-exchanger overlap accounting and
+// returns the receiver (so construction chains).
+func (e *Exchanger) SetLabel(label string) *Exchanger {
+	e.stats.Label = label
+	return e
+}
+
+// Stats returns a snapshot of the exchanger's overlap accounting.
+func (e *Exchanger) Stats() ExchStats { return e.stats }
+
 // Begin posts all sends of one halo exchange: for every peer, one message
 // per 3-D field (tag = field index) and one per 2-D field. Payloads for
 // multiple rectangles to the same peer are concatenated in rect order.
@@ -302,6 +329,7 @@ func (e *Exchanger) Begin(f3s []*field.F3, f2s []*field.F2) *Pending {
 	c := e.t.World
 	prev := c.SetCategory(comm.CatStencil)
 	defer c.SetCategory(prev)
+	t0 := c.Stats().CommTime[comm.CatStencil]
 	if len(e.sendBuf) < e.maxCount {
 		//cadyvet:allow first-exchange lazy buffer growth; steady-state exchanges reuse the buffer (0 allocs/op pinned by the dycore alloc benchmark)
 		e.sendBuf = make([]float64, e.maxCount)
@@ -329,6 +357,8 @@ func (e *Exchanger) Begin(f3s []*field.F3, f2s []*field.F2) *Pending {
 			}
 		}
 	}
+	e.stats.Begins++
+	e.stats.ExposedSec += c.Stats().CommTime[comm.CatStencil] - t0
 	e.pend = Pending{e: e, f3s: f3s, f2s: f2s}
 	return &e.pend
 }
@@ -340,6 +370,8 @@ func (p *Pending) Finish() {
 	c := e.t.World
 	prev := c.SetCategory(comm.CatStencil)
 	defer c.SetCategory(prev)
+	s0 := c.Stats()
+	t0, h0 := s0.CommTime[comm.CatStencil], s0.HiddenTime[comm.CatStencil]
 	if len(e.recvBuf) < e.maxCount {
 		//cadyvet:allow first-exchange lazy buffer growth; steady-state exchanges reuse the buffer (0 allocs/op pinned by the dycore alloc benchmark)
 		e.recvBuf = make([]float64, e.maxCount)
@@ -369,10 +401,15 @@ func (p *Pending) Finish() {
 			}
 		}
 	}
+	s1 := c.Stats()
+	e.stats.Finishes++
+	e.stats.ExposedSec += s1.CommTime[comm.CatStencil] - t0
+	e.stats.HiddenSec += s1.HiddenTime[comm.CatStencil] - h0
 }
 
 // Exchange performs a full blocking halo exchange of the given fields.
 func (e *Exchanger) Exchange(f3s []*field.F3, f2s []*field.F2) {
+	//cadyvet:quiesce Exchange is the deliberately blocking convenience form for bootstrap fills and quiesced reference paths
 	e.Begin(f3s, f2s).Finish()
 }
 

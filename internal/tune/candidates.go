@@ -42,6 +42,11 @@ type Candidate struct {
 	M int
 	// Workers is the intra-rank tiling width.
 	Workers int
+	// Stage is the staged-exchange halo depth s for SchemeCA: 0 (or M)
+	// sizes the halo for all M iterations at once; 0 < s < M sizes it for s
+	// iterations and refreshes it ⌈M/s⌉ times per step with overlapped
+	// exchanges. Ignored by the baseline schemes.
+	Stage int
 	// RowStarts is the y-row partition (nil = uniform).
 	RowStarts []int
 }
@@ -51,6 +56,9 @@ type Candidate struct {
 func (c Candidate) Key() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s-%dx%d-m%d-w%d", c.Scheme, c.PA, c.PB, c.M, c.Workers)
+	if c.Stage > 0 {
+		fmt.Fprintf(&sb, "-s%d", c.Stage)
+	}
 	if c.RowStarts != nil {
 		sb.WriteString("-rows")
 		for _, s := range c.RowStarts {
@@ -65,6 +73,9 @@ func (c Candidate) Key() string {
 func (c Candidate) Setup(cfg dycore.Config) dycore.Setup {
 	cfg.M = c.M
 	cfg.Workers = c.Workers
+	if c.Scheme == SchemeCA {
+		cfg.StageM = c.Stage
+	}
 	return dycore.Setup{Alg: c.Scheme.Alg(), PA: c.PA, PB: c.PB, Cfg: cfg, RowStarts: c.RowStarts}
 }
 
@@ -87,6 +98,9 @@ type SearchOptions struct {
 	VaryM bool
 	// NoUnbalanced disables the weighted y-row partition candidates.
 	NoUnbalanced bool
+	// NoStaged disables the staged-exchange (Candidate.Stage) variants of
+	// the communication-avoiding scheme.
+	NoStaged bool
 }
 
 // minRowsCA is the minimum rows/layers per rank the communication-avoiding
@@ -95,8 +109,9 @@ const minRowsCA = 2
 
 // Candidates enumerates the search space for running cfg on an nx×ny×nz
 // mesh with exactly procs ranks. The order is deterministic: schemes in
-// {ca, yz, xy} order, factorizations by ascending PA, then M, workers, and
-// uniform before weighted partitions.
+// {ca, yz, xy} order, factorizations by ascending PA, then M, workers,
+// full-depth before staged halos (ascending stage depth), and uniform
+// before weighted partitions.
 func Candidates(g *grid.Grid, procs int, cfg dycore.Config, prof Profile, opt SearchOptions) []Candidate {
 	ms := []int{cfg.M}
 	if opt.VaryM {
@@ -133,12 +148,24 @@ func Candidates(g *grid.Grid, procs int, cfg dycore.Config, prof Profile, opt Se
 				}
 				for _, w := range workers {
 					base := Candidate{Scheme: scheme, PA: pa, PB: pb, M: m, Workers: w}
-					add(base)
-					if !opt.NoUnbalanced {
-						if rows := weightedRows(g, cfg, prof, base); rows != nil {
-							c := base
-							c.RowStarts = rows
-							add(c)
+					stages := []int{0}
+					if scheme == SchemeCA && !opt.NoStaged {
+						// Staged-exchange variants: halo depth s < m with
+						// ⌈m/s⌉ overlapped refreshes per step.
+						for s := 1; s < m; s++ {
+							stages = append(stages, s)
+						}
+					}
+					for _, s := range stages {
+						c := base
+						c.Stage = s
+						add(c)
+						if !opt.NoUnbalanced {
+							if rows := weightedRows(g, cfg, prof, c); rows != nil {
+								cw := c
+								cw.RowStarts = rows
+								add(cw)
+							}
 						}
 					}
 				}

@@ -3,6 +3,7 @@ package tune
 import (
 	"math"
 
+	"cadycore/internal/costmodel"
 	"cadycore/internal/dycore"
 	"cadycore/internal/grid"
 )
@@ -60,7 +61,14 @@ func Evaluate(g *grid.Grid, cfg dycore.Config, prof Profile, c Candidate) Estima
 	switch c.Scheme {
 	case SchemeCA:
 		nEx, nColl = 2, 2*m
-		_, hy, hz = dycore.CommAvoidHalo(c.M)
+		sd := c.M
+		if c.Stage > 0 && c.Stage < c.M {
+			// Staged exchange: a depth-s halo serves s iterations, so the
+			// step needs ⌈M/s⌉ adaptation rounds plus the advection round.
+			sd = c.Stage
+			nEx = math.Ceil(m/float64(sd)) + 1
+		}
+		_, hy, hz = dycore.CommAvoidHalo(sd)
 	case SchemeYZ:
 		nEx, nColl = 3*m+4, 3*m
 		_, hy, hz = dycore.BaselineHalo()
@@ -102,7 +110,25 @@ func Evaluate(g *grid.Grid, cfg dycore.Config, prof Profile, c Candidate) Estima
 		zFace := float64(hz*nxl*rows) * boolF(pz > 1)
 		xFace := float64(2*3*rows*layers) * boolF(px > 1)
 		exBytes := 8 * fieldsPerExchange * (yFace + zFace + xFace)
-		comm := nEx * (cal.Alpha + cal.Beta*exBytes)
+		round := cal.Alpha + cal.Beta*exBytes
+		if !cfg.NoOverlap {
+			// Overlapped exchange (§5.3 refinement): each Begin/Finish round
+			// hides its flight time behind the interior share of the sweep it
+			// overlaps; only the residual wait stays exposed. The window is
+			// the round's slice of the interior compute — the owned block
+			// shrunk by the halo the in-flight messages will fill.
+			innerY := 1 - float64(2*hy)/float64(rows)*boolF(py > 1)
+			innerZ := 1 - float64(hz)/float64(layers)*boolF(pz > 1)
+			if innerY < 0 {
+				innerY = 0
+			}
+			if innerZ < 0 {
+				innerZ = 0
+			}
+			window := comp * innerY * innerZ / nEx
+			round = costmodel.OverlapExposed(round, window)
+		}
+		comm := nEx * round
 
 		// z-summation collective (Theorem 4.2 shape): an allreduce of the
 		// rank's nxl·rows plane costs ~2 plane transfers times log pz.

@@ -12,7 +12,7 @@ import (
 
 // PlanVersion is bumped when the Plan schema changes; cached plans with
 // another version are ignored.
-const PlanVersion = 1
+const PlanVersion = 2
 
 // Plan is the planner's decision for one (mesh, procs, config, profile)
 // request — everything needed to launch the run, plus the evidence.
@@ -26,6 +26,9 @@ type Plan struct {
 	PB      int    `json:"pb"`
 	M       int    `json:"m"`
 	Workers int    `json:"workers"`
+	// Stage is the staged-exchange halo depth for the CA scheme (0 = full
+	// depth M).
+	Stage int `json:"stage,omitempty"`
 	// RowStarts is the y-row partition (omitted = uniform).
 	RowStarts []int `json:"row_starts,omitempty"`
 	// HaloY, HaloZ record the halo depths the scheme implies (informational).
@@ -45,7 +48,7 @@ type Plan struct {
 
 // Candidate reconstructs the plan's search-space point.
 func (p Plan) Candidate() Candidate {
-	return Candidate{Scheme: p.Scheme, PA: p.PA, PB: p.PB, M: p.M, Workers: p.Workers, RowStarts: p.RowStarts}
+	return Candidate{Scheme: p.Scheme, PA: p.PA, PB: p.PB, M: p.M, Workers: p.Workers, Stage: p.Stage, RowStarts: p.RowStarts}
 }
 
 // Setup builds the dycore setup that executes the plan. The caller's config
@@ -58,6 +61,9 @@ func (p Plan) Setup(cfg dycore.Config) dycore.Setup {
 func (p Plan) String() string {
 	s := fmt.Sprintf("%s %dx%d m=%d workers=%d halo(y=%d,z=%d)",
 		p.Scheme, p.PA, p.PB, p.M, p.Workers, p.HaloY, p.HaloZ)
+	if p.Stage > 0 {
+		s += fmt.Sprintf(" stage=%d", p.Stage)
+	}
 	if p.RowStarts != nil {
 		s += fmt.Sprintf(" rows=%v", p.RowStarts)
 	}
@@ -164,7 +170,11 @@ func planFrom(g *grid.Grid, procs int, e Estimate, prof Profile) Plan {
 	c := e.Candidate
 	var hy, hz int
 	if c.Scheme == SchemeCA {
-		_, hy, hz = dycore.CommAvoidHalo(c.M)
+		sd := c.M
+		if c.Stage > 0 && c.Stage < c.M {
+			sd = c.Stage
+		}
+		_, hy, hz = dycore.CommAvoidHalo(sd)
 	} else {
 		_, hy, hz = dycore.BaselineHalo()
 	}
@@ -173,6 +183,7 @@ func planFrom(g *grid.Grid, procs int, e Estimate, prof Profile) Plan {
 		Mesh:    [3]int{g.Nx, g.Ny, g.Nz},
 		Procs:   procs,
 		Scheme:  c.Scheme, PA: c.PA, PB: c.PB, M: c.M, Workers: c.Workers,
+		Stage:         c.Stage,
 		RowStarts:     c.RowStarts,
 		HaloY:         hy,
 		HaloZ:         hz,
