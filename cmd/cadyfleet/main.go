@@ -1,0 +1,147 @@
+// Command cadyfleet is the fleet coordinator daemon: it fronts N cadyserved
+// backends behind the same HTTP/JSON job API, sharding jobs across them,
+// enforcing per-tenant quotas and priority classes, migrating jobs off dead
+// backends (resuming from the shared checkpoint store) and fanning ensembles
+// into perturbed members.
+//
+// Usage:
+//
+//	cadyfleet -backends http://h1:8081,http://h2:8082,... -store DIR
+//	          [-addr :8080] [-quota N] [-quotas t1=4,t2=16]
+//	          [-classes vip=high,batch=low] [-probe-interval 500ms]
+//	          [-fail-threshold 3] [-watch-interval 200ms] [-max-migrations 3]
+//
+// Every backend must run cadyserved with -shared pointing at the same -store
+// directory; it is both the migration substrate (checkpoints dual-written by
+// the backends) and where the coordinator persists its routing state
+// (fleet.json), so a restarted coordinator reconciles rather than restarts.
+//
+// Endpoints (the job API mirrors cadyserved):
+//
+//	POST /jobs               submit (X-Tenant header; 429 + Retry-After over quota)
+//	GET  /jobs               list, ?status= filter, ?offset=/&limit= pagination
+//	GET  /jobs/{id}          live status (proxied from the owning backend)
+//	POST /jobs/{id}/cancel   cancel wherever the job is
+//	POST /ensembles          fan one run spec into K perturbed members
+//	GET  /ensembles/{id}     member states + min/max/mean diagnostics
+//	GET  /backends           backend health; POST /backends registers one
+//	POST /backends/drain     {"url": ...} forwards the backend drain hook
+//	GET  /metrics            fleet metrics incl. scrape-and-sum backend aggregates
+//	GET  /healthz            liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"cadycore/internal/fleet"
+)
+
+// parseKV parses "a=1,b=2" flags.
+func parseKV(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("bad key=value entry %q", kv)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	backends := flag.String("backends", "", "comma-separated backend base URLs (required)")
+	store := flag.String("store", "", "shared checkpoint-store directory (required; backends use -shared on the same path)")
+	quota := flag.Int("quota", 8, "default per-tenant in-flight job quota")
+	quotas := flag.String("quotas", "", "per-tenant quota overrides, tenant=N[,tenant=N...]")
+	classes := flag.String("classes", "", "tenant priority classes, tenant=high|normal|low[,...]")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "backend health-probe cadence")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures before a backend is declared dead")
+	watchInterval := flag.Duration("watch-interval", 200*time.Millisecond, "backend job-list reconciliation cadence")
+	maxMigrations := flag.Int("max-migrations", 3, "migration budget per job")
+	flag.Parse()
+
+	if *backends == "" || *store == "" {
+		fmt.Fprintln(os.Stderr, "cadyfleet: -backends and -store are required")
+		os.Exit(2)
+	}
+	cfg := fleet.Config{
+		Backends:      strings.Split(*backends, ","),
+		StoreDir:      *store,
+		DefaultQuota:  *quota,
+		ProbeInterval: *probeInterval,
+		FailThreshold: *failThreshold,
+		WatchInterval: *watchInterval,
+		MaxMigrations: *maxMigrations,
+	}
+	if kv, err := parseKV(*quotas); err != nil {
+		fmt.Fprintln(os.Stderr, "cadyfleet: -quotas:", err)
+		os.Exit(2)
+	} else if kv != nil {
+		cfg.Quotas = map[string]int{}
+		tenants := make([]string, 0, len(kv))
+		//cadyvet:unordered key collection only; the loop below is sorted
+		for t := range kv {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		for _, t := range tenants {
+			var n int
+			if _, err := fmt.Sscanf(kv[t], "%d", &n); err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "cadyfleet: -quotas: bad quota %q for tenant %s\n", kv[t], t)
+				os.Exit(2)
+			}
+			cfg.Quotas[t] = n
+		}
+	}
+	if kv, err := parseKV(*classes); err != nil {
+		fmt.Fprintln(os.Stderr, "cadyfleet: -classes:", err)
+		os.Exit(2)
+	} else if kv != nil {
+		cfg.Classes = kv
+	}
+
+	coord, err := fleet.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cadyfleet:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: *addr, Handler: coord}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("cadyfleet listening on %s (%d backends, store %s)\n",
+		*addr, len(cfg.Backends), *store)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "cadyfleet:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("cadyfleet: stopping (backends and their jobs are left running)")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "cadyfleet: shutdown:", err)
+	}
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "cadyfleet: http shutdown:", err)
+	}
+	fmt.Println("cadyfleet: stopped")
+}

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	cadyserved [-addr :8080] [-workers N] [-queue N] [-dir DIR]
-//	           [-chaos plan.json] [-max-restarts N]
+//	           [-shared DIR] [-chaos plan.json] [-max-restarts N]
+//
+// With -shared, the daemon attaches a shared checkpoint store (a directory
+// all fleet backends mount): jobs submitted with a shared_key dual-write
+// their checkpoints there and resume from the newest shared snapshot when
+// they arrive with no local state — the cadyfleet migration path.
 //
 // With -chaos, the JSON fault plan (see internal/fault: rank crashes at
 // given steps, stragglers, message jitter, transient send errors) is
@@ -40,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"cadycore/internal/checkpoint"
 	"cadycore/internal/fault"
 	"cadycore/internal/server"
 )
@@ -49,6 +55,7 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent job executors")
 	queue := flag.Int("queue", 16, "admission queue bound")
 	dir := flag.String("dir", "", "persistence directory for specs and checkpoints (empty = in-memory)")
+	shared := flag.String("shared", "", "shared fleet checkpoint-store directory (empty = none)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for jobs to checkpoint on shutdown")
 	chaos := flag.String("chaos", "", "fault-injection plan (JSON) applied to every run job")
 	maxRestarts := flag.Int("max-restarts", 0, "automatic restarts per crashed job (0 = default policy of 3)")
@@ -59,6 +66,14 @@ func main() {
 		QueueCap: *queue,
 		Dir:      *dir,
 		Restart:  server.RestartPolicy{MaxRestarts: *maxRestarts},
+	}
+	if *shared != "" {
+		store, err := checkpoint.NewDirStore(*shared)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cadyserved:", err)
+			os.Exit(1)
+		}
+		cfg.Shared = store
 	}
 	if *chaos != "" {
 		plan, err := fault.Load(*chaos)
@@ -80,6 +95,9 @@ func main() {
 	fmt.Printf("cadyserved listening on %s (%d workers, queue %d", *addr, *workers, *queue)
 	if *dir != "" {
 		fmt.Printf(", dir %s", *dir)
+	}
+	if *shared != "" {
+		fmt.Printf(", shared %s", *shared)
 	}
 	if *chaos != "" {
 		fmt.Printf(", chaos %s", *chaos)

@@ -8,11 +8,22 @@
 // Usage:
 //
 //	loadgen [-addr host:port] [-n 24] [-c 4] [-steps 2] [-auto]
-//	        [-ckpt-every k] [-max-restarts r] [-o BENCH_service.json]
+//	        [-ckpt-every k] [-max-restarts r] [-tenants t] [-ensemble k]
+//	        [-fleet b] [-o BENCH_service.json]
 //
 // With -auto every job is submitted as {"layout": "auto", "procs": pa*pb}:
 // the service's planner (internal/tune) chooses the algorithm, process grid
 // and row partition, so the benchmark exercises the planning path end to end.
+//
+// With -tenants T the clients spread submissions over T tenants via the
+// X-Tenant header and the report adds a per-tenant latency/reject breakdown
+// — the multi-tenant fairness view of the same closed loop.
+//
+// With -fleet B the self-contained service is a sharded fleet: one
+// cadyfleet-style coordinator fronting B in-process cadyserved backends over
+// a shared checkpoint store, all on loopback. -workers/-queue size each
+// backend. With -ensemble K every submission is a K-member ensemble
+// (coordinator only) and a "job" completes when all members do.
 //
 // Without -addr it boots an in-process service (-workers, -queue size it)
 // on a loopback listener, so the benchmark is self-contained.
@@ -26,25 +37,46 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cadycore/internal/checkpoint"
+	"cadycore/internal/fleet"
 	"cadycore/internal/server"
 )
 
+type latencyStats struct {
+	P50Ms  float64 `json:"latency_p50_ms"`
+	P90Ms  float64 `json:"latency_p90_ms"`
+	P99Ms  float64 `json:"latency_p99_ms"`
+	MeanMs float64 `json:"latency_mean_ms"`
+}
+
+type tenantReport struct {
+	Completed int   `json:"completed"`
+	Failed    int   `json:"failed"`
+	Retries   int64 `json:"backpressure_retries"`
+	Rejected  int64 `json:"rejected_submits"`
+	latencyStats
+}
+
 type benchReport struct {
-	Target    string `json:"target"`
-	Jobs      int    `json:"jobs"`
-	Clients   int    `json:"clients"`
-	Workers   int    `json:"workers,omitempty"` // self-serve mode
-	QueueCap  int    `json:"queue_cap,omitempty"`
-	Steps     int    `json:"steps_per_job"`
-	Auto      bool   `json:"auto_layout,omitempty"`
-	Completed int    `json:"completed"`
-	Failed    int    `json:"failed"`
+	Target     string `json:"target"`
+	Jobs       int    `json:"jobs"`
+	Clients    int    `json:"clients"`
+	Workers    int    `json:"workers,omitempty"` // self-serve mode
+	QueueCap   int    `json:"queue_cap,omitempty"`
+	Steps      int    `json:"steps_per_job"`
+	Auto       bool   `json:"auto_layout,omitempty"`
+	Fleet      int    `json:"fleet_backends,omitempty"`
+	Ensemble   int    `json:"ensemble_members,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Completed  int    `json:"completed"`
+	Failed     int    `json:"failed"`
 	// Retries counts transient backpressure responses (429/503) the client
 	// waited out per the server's Retry-After header before resubmitting;
 	// Rejected counts submissions that gave up after exhausting retries.
@@ -54,18 +86,26 @@ type benchReport struct {
 	WallSec       float64 `json:"wall_sec"`
 	ThroughputJPS float64 `json:"throughput_jobs_per_sec"`
 	StepsPerSec   float64 `json:"steps_per_sec"`
-	P50Ms         float64 `json:"latency_p50_ms"`
-	P90Ms         float64 `json:"latency_p90_ms"`
-	P99Ms         float64 `json:"latency_p99_ms"`
-	MeanMs        float64 `json:"latency_mean_ms"`
+	latencyStats
+
+	// Tenants is the per-tenant breakdown when -tenants > 0.
+	Tenants map[string]tenantReport `json:"tenants,omitempty"`
+}
+
+// perTenant accumulates one tenant's outcomes under the report mutex.
+type perTenant struct {
+	latencies []time.Duration
+	failed    int
+	retries   int64
+	rejected  int64
 }
 
 func main() {
 	addr := flag.String("addr", "", "target service address (empty: boot an in-process service)")
 	n := flag.Int("n", 24, "total jobs to complete")
 	c := flag.Int("c", 4, "concurrent closed-loop clients")
-	workers := flag.Int("workers", 2, "in-process service: worker pool size")
-	queue := flag.Int("queue", 4, "in-process service: admission queue bound")
+	workers := flag.Int("workers", 2, "in-process service: worker pool size (per backend with -fleet)")
+	queue := flag.Int("queue", 4, "in-process service: admission queue bound (per backend with -fleet)")
 	alg := flag.String("alg", "yz", "job algorithm: ca, yz, xy")
 	nx := flag.Int("nx", 48, "mesh points in longitude")
 	ny := flag.Int("ny", 24, "mesh points in latitude")
@@ -77,29 +117,45 @@ func main() {
 	auto := flag.Bool("auto", false, "submit auto-layout jobs (planner picks alg/pa/pb for pa*pb ranks)")
 	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint jobs every k steps (0: only stop-triggered snapshots)")
 	maxRestarts := flag.Int("max-restarts", -1, "per-job automatic restart budget (<0: server default)")
+	tenants := flag.Int("tenants", 0, "spread submissions over this many tenants via X-Tenant (0: none)")
+	ensemble := flag.Int("ensemble", 0, "submit K-member ensembles instead of single jobs (fleet/coordinator targets only)")
+	fleetN := flag.Int("fleet", 0, "self-serve a sharded fleet with this many backends behind one coordinator (0: single server)")
+	quota := flag.Int("quota", 0, "fleet per-tenant in-flight quota (0: coordinator default)")
 	out := flag.String("o", "BENCH_service.json", "output JSON path")
 	flag.Parse()
 
+	if *ensemble != 0 && (*ensemble < 2 || *ensemble > 64) {
+		fmt.Fprintln(os.Stderr, "loadgen: -ensemble must be in [2, 64]")
+		os.Exit(2)
+	}
+	if *ensemble > 0 && *fleetN == 0 && *addr == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -ensemble needs a coordinator target (-fleet or -addr of a cadyfleet)")
+		os.Exit(2)
+	}
+
 	base := *addr
-	rep := benchReport{Jobs: *n, Clients: *c, Steps: *steps}
-	if base == "" {
+	rep := benchReport{Jobs: *n, Clients: *c, Steps: *steps, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	switch {
+	case base == "" && *fleetN > 0:
+		base = serveFleet(*fleetN, *workers, *queue, *quota)
+		rep.Workers = *workers
+		rep.QueueCap = *queue
+		rep.Fleet = *fleetN
+		fmt.Printf("loadgen: self-serving fleet on %s (%d backends, %d workers + queue %d each)\n",
+			base, *fleetN, *workers, *queue)
+	case base == "":
 		srv, err := server.New(server.Config{Workers: *workers, QueueCap: *queue})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
 			os.Exit(1)
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "loadgen:", err)
-			os.Exit(1)
-		}
-		go http.Serve(ln, srv)
-		base = ln.Addr().String()
+		base = serveOn(srv)
 		rep.Workers = *workers
 		rep.QueueCap = *queue
 		fmt.Printf("loadgen: self-serving on %s (%d workers, queue %d)\n", base, *workers, *queue)
 	}
 	rep.Target = "http://" + base
+	rep.Ensemble = *ensemble
 
 	spec := map[string]any{
 		"alg": *alg, "nx": *nx, "ny": *ny, "nz": *nz,
@@ -118,18 +174,33 @@ func main() {
 	if *maxRestarts >= 0 {
 		spec["max_restarts"] = *maxRestarts
 	}
-	specB, _ := json.Marshal(spec)
+	var specB []byte
+	path, pollPath := "/jobs", "/jobs/"
+	if *ensemble > 0 {
+		specB, _ = json.Marshal(map[string]any{"job": spec, "members": *ensemble, "seed": 1})
+		path, pollPath = "/ensembles", "/ensembles/"
+	} else {
+		specB, _ = json.Marshal(spec)
+	}
 
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
 		failed    int
+		byTenant  = map[string]*perTenant{}
 		retries   atomic.Int64
 		rejected  atomic.Int64
+		seq       atomic.Int64
 		remaining atomic.Int64
 	)
 	remaining.Store(int64(*n))
 	client := &http.Client{Timeout: 30 * time.Second}
+	tenantOf := func(i int64) string {
+		if *tenants <= 0 {
+			return ""
+		}
+		return fmt.Sprintf("tenant-%d", i%int64(*tenants))
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -138,21 +209,33 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for remaining.Add(-1) >= 0 {
+				tenant := tenantOf(seq.Add(1) - 1)
 				t0 := time.Now()
-				id, ok := submit(client, rep.Target, specB, &retries, &rejected)
-				if !ok {
-					mu.Lock()
-					failed++
-					mu.Unlock()
-					continue
+				id, nretry, gaveUp, ok := submit(client, rep.Target+path, specB, tenant)
+				retries.Add(nretry)
+				state := ""
+				if ok {
+					state = poll(client, rep.Target+pollPath, id)
+				} else if gaveUp {
+					rejected.Add(1)
 				}
-				state := poll(client, rep.Target, id)
 				lat := time.Since(t0)
 				mu.Lock()
+				pt := byTenant[tenant]
+				if pt == nil {
+					pt = &perTenant{}
+					byTenant[tenant] = pt
+				}
+				pt.retries += nretry
 				if state == "completed" {
 					latencies = append(latencies, lat)
+					pt.latencies = append(pt.latencies, lat)
 				} else {
 					failed++
+					pt.failed++
+					if gaveUp {
+						pt.rejected++
+					}
 				}
 				mu.Unlock()
 			}
@@ -164,20 +247,26 @@ func main() {
 	rep.Failed = failed
 	rep.Retries = retries.Load()
 	rep.Rejected = rejected.Load()
+	jobsPer := 1
+	if *ensemble > 0 {
+		jobsPer = *ensemble
+	}
 	if rep.WallSec > 0 {
 		rep.ThroughputJPS = float64(rep.Completed) / rep.WallSec
-		rep.StepsPerSec = float64(rep.Completed**steps) / rep.WallSec
+		rep.StepsPerSec = float64(rep.Completed*jobsPer**steps) / rep.WallSec
 	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	rep.P50Ms = quantileMs(latencies, 0.50)
-	rep.P90Ms = quantileMs(latencies, 0.90)
-	rep.P99Ms = quantileMs(latencies, 0.99)
-	var sum time.Duration
-	for _, l := range latencies {
-		sum += l
-	}
-	if len(latencies) > 0 {
-		rep.MeanMs = float64(sum.Milliseconds()) / float64(len(latencies))
+	rep.latencyStats = summarize(latencies)
+	if *tenants > 0 {
+		rep.Tenants = map[string]tenantReport{}
+		for t, pt := range byTenant {
+			rep.Tenants[t] = tenantReport{
+				Completed:    len(pt.latencies),
+				Failed:       pt.failed,
+				Retries:      pt.retries,
+				Rejected:     pt.rejected,
+				latencyStats: summarize(pt.latencies),
+			}
+		}
 	}
 
 	b, _ := json.MarshalIndent(rep, "", "  ")
@@ -193,15 +282,64 @@ func main() {
 	}
 }
 
+// serveOn exposes a handler on an ephemeral loopback listener.
+func serveOn(h http.Handler) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	go http.Serve(ln, h)
+	return ln.Addr().String()
+}
+
+// serveFleet boots B in-process backends over one shared checkpoint store
+// and a coordinator in front of them — the 1+B sharded topology on loopback.
+func serveFleet(backends, workers, queue, quota int) string {
+	dir, err := os.MkdirTemp("", "loadgen-fleet-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	urls := make([]string, backends)
+	for i := range urls {
+		store, err := checkpoint.NewDirStore(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		srv, err := server.New(server.Config{Workers: workers, QueueCap: queue, Shared: store})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		urls[i] = "http://" + serveOn(srv)
+	}
+	coord, err := fleet.New(fleet.Config{Backends: urls, StoreDir: dir, DefaultQuota: quota})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	return serveOn(coord)
+}
+
 // submit posts the job, retrying transient backpressure (429/503) with the
 // closed-loop client parked for the server's advertised Retry-After —
 // exactly what admission control is for. Retried responses count as
 // backpressure retries; only a submission that gives up counts as rejected.
-func submit(client *http.Client, base string, spec []byte, retries, rejected *atomic.Int64) (string, bool) {
+func submit(client *http.Client, url string, spec []byte, tenant string) (id string, nretry int64, gaveUp, ok bool) {
 	for attempt := 0; attempt < 2000; attempt++ {
-		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(spec))
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(spec))
 		if err != nil {
-			return "", false
+			return "", nretry, false, false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", nretry, false, false
 		}
 		switch resp.StatusCode {
 		case http.StatusAccepted:
@@ -210,19 +348,18 @@ func submit(client *http.Client, base string, spec []byte, retries, rejected *at
 			}
 			err := json.NewDecoder(resp.Body).Decode(&st)
 			resp.Body.Close()
-			return st.ID, err == nil && st.ID != ""
+			return st.ID, nretry, false, err == nil && st.ID != ""
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			wait := retryAfter(resp, 50*time.Millisecond)
 			resp.Body.Close()
-			retries.Add(1)
+			nretry++
 			time.Sleep(wait)
 		default:
 			resp.Body.Close()
-			return "", false
+			return "", nretry, false, false
 		}
 	}
-	rejected.Add(1)
-	return "", false
+	return "", nretry, true, false
 }
 
 // retryAfter parses the delay-seconds form of the Retry-After header,
@@ -239,7 +376,7 @@ func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
 func poll(client *http.Client, base, id string) string {
 	deadline := time.Now().Add(5 * time.Minute)
 	for time.Now().Before(deadline) {
-		resp, err := client.Get(base + "/jobs/" + id)
+		resp, err := client.Get(base + id)
 		if err != nil {
 			return "error"
 		}
@@ -258,6 +395,22 @@ func poll(client *http.Client, base, id string) string {
 		time.Sleep(5 * time.Millisecond)
 	}
 	return "timeout"
+}
+
+func summarize(latencies []time.Duration) latencyStats {
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var ls latencyStats
+	ls.P50Ms = quantileMs(latencies, 0.50)
+	ls.P90Ms = quantileMs(latencies, 0.90)
+	ls.P99Ms = quantileMs(latencies, 0.99)
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	if len(latencies) > 0 {
+		ls.MeanMs = float64(sum.Milliseconds()) / float64(len(latencies))
+	}
+	return ls
 }
 
 func quantileMs(sorted []time.Duration, q float64) float64 {

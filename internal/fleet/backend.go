@@ -1,0 +1,322 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cadycore/internal/server"
+)
+
+// backend is the coordinator's view of one cadyserved daemon. Mutable
+// fields are guarded by the coordinator mutex; HTTP calls happen unlocked.
+type backend struct {
+	url string
+
+	healthy   bool
+	fails     int           // consecutive probe failures
+	backoff   time.Duration // current re-probe backoff while failing
+	nextProbe time.Time
+
+	load     int // queue_depth + workers_busy at last scrape
+	capacity int // queue_capacity + workers at last scrape
+
+	// counters holds the backend's cady_* totals from the last successful
+	// /metrics scrape, for the coordinator's scrape-and-sum aggregates.
+	counters map[string]float64
+
+	probes, probeFails int64
+}
+
+func newBackend(url string) *backend {
+	return &backend{url: strings.TrimRight(url, "/")}
+}
+
+// full reports whether the last scrape showed no admission headroom.
+func (b *backend) full() bool { return b.capacity > 0 && b.load >= b.capacity }
+
+// aggNames is the fixed set of backend counters the coordinator sums into
+// cady_fleet_agg_* metrics — the overlap/comm accounting and job totals a
+// fleet operator wants fleet-wide without scraping every backend.
+var aggNames = []string{
+	"cady_jobs_submitted_total",
+	"cady_jobs_completed_total",
+	"cady_jobs_failed_total",
+	"cady_steps_total",
+	"cady_checkpoints_total",
+	"cady_shared_snapshots_total",
+	"cady_shared_resumes_total",
+	"cady_rank_failures_total",
+	"cady_job_restarts_total",
+	"cady_comm_exposed_seconds_total",
+	"cady_comm_hidden_seconds_total",
+}
+
+// probeOnce checks one backend's /healthz and, on success, scrapes /metrics
+// for load and the aggregate counters. Returns the scrape results so the
+// caller can apply them under the coordinator lock.
+func (c *Coordinator) probeOnce(url string) (ok bool, load, capacity int, counters map[string]float64) {
+	ctx, cancel := context.WithTimeout(c.ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false, 0, 0, nil
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false, 0, 0, nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// A draining backend (503) stops accepting and interrupts its jobs:
+		// treat it as unhealthy so migration starts promptly.
+		return false, 0, 0, nil
+	}
+	mreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return true, 0, 0, nil
+	}
+	mresp, err := c.client.Do(mreq)
+	if err != nil {
+		return true, 0, 0, nil
+	}
+	defer mresp.Body.Close()
+	vals := parseMetrics(mresp.Body)
+	load = int(vals["cady_queue_depth"] + vals["cady_workers_busy"])
+	capacity = int(vals["cady_queue_capacity"] + vals["cady_workers"])
+	counters = make(map[string]float64, len(aggNames))
+	for _, n := range aggNames {
+		if v, found := vals[n]; found {
+			counters[n] = v
+		}
+	}
+	return true, load, capacity, counters
+}
+
+// parseMetrics reads unlabeled "name value" samples from a Prometheus text
+// exposition (labeled series are skipped — the coordinator only sums scalar
+// totals and gauges).
+func parseMetrics(r io.Reader) map[string]float64 {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, found := strings.Cut(line, " ")
+		if !found || strings.ContainsAny(name, "{}") {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out
+}
+
+// --- backend HTTP operations ----------------------------------------------
+
+// errBackpressure marks a 429/503 submit rejection: try another backend.
+var errBackpressure = errors.New("fleet: backend backpressure")
+
+// submitToBackend POSTs a job spec to one backend.
+func (c *Coordinator) submitToBackend(url string, spec server.JobSpec) (*server.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, url+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var st server.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return nil, err
+		}
+		return &st, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		io.Copy(io.Discard, resp.Body)
+		return nil, errBackpressure
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fleet: backend %s rejected job: %s: %s", url, resp.Status, strings.TrimSpace(string(b)))
+	}
+}
+
+// fetchJob GETs one backend job status.
+func (c *Coordinator) fetchJob(url, backendID string) (*server.JobStatus, error) {
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, url+"/jobs/"+backendID, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("fleet: backend %s job %s: %s", url, backendID, resp.Status)
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// listBackendJobs pages through a backend's GET /jobs.
+func (c *Coordinator) listBackendJobs(url string) ([]server.JobStatus, error) {
+	var all []server.JobStatus
+	for offset := 0; ; {
+		req, err := http.NewRequestWithContext(c.ctx, http.MethodGet,
+			fmt.Sprintf("%s/jobs?offset=%d&limit=200", url, offset), nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		var page struct {
+			Jobs  []server.JobStatus `json:"jobs"`
+			Total int                `json:"total"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Jobs...)
+		offset += len(page.Jobs)
+		if offset >= page.Total || len(page.Jobs) == 0 {
+			return all, nil
+		}
+	}
+}
+
+// cancelBackendJob POSTs a cancel for a backend-local job; a 409 (already
+// terminal) is not an error.
+func (c *Coordinator) cancelBackendJob(url, backendID string) error {
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, url+"/jobs/"+backendID+"/cancel", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("fleet: cancel on %s/%s: %s", url, backendID, resp.Status)
+	}
+	return nil
+}
+
+// drainBackend POSTs the backend's drain hook.
+func (c *Coordinator) drainBackend(url string) error {
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, url+"/drain", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("fleet: drain on %s: %s", url, resp.Status)
+	}
+	return nil
+}
+
+// --- routing ---------------------------------------------------------------
+
+// rendezvousScore is the highest-random-weight hash of (job, backend): each
+// job gets a stable preference order over backends, so retries and restarts
+// route consistently without a central assignment table.
+func rendezvousScore(jobID, url string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(jobID))
+	h.Write([]byte{0})
+	h.Write([]byte(url))
+	return h.Sum64()
+}
+
+// candidatesLocked ranks healthy backends for a job: rendezvous order, with
+// backends that reported a full admission queue demoted behind all non-full
+// ones (the least-loaded tie-break — load information comes from the last
+// /metrics scrape). Caller holds c.mu.
+func (c *Coordinator) candidatesLocked(jobID string) []string {
+	type cand struct {
+		url   string
+		score uint64
+		full  bool
+		load  int
+	}
+	var cs []cand
+	for _, b := range c.backends {
+		if b.healthy {
+			cs = append(cs, cand{b.url, rendezvousScore(jobID, b.url), b.full(), b.load})
+		}
+	}
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].full != cs[b].full {
+			return !cs[a].full
+		}
+		if cs[a].score != cs[b].score {
+			return cs[a].score > cs[b].score
+		}
+		return cs[a].load < cs[b].load
+	})
+	urls := make([]string, len(cs))
+	for i, cd := range cs {
+		urls[i] = cd.url
+	}
+	return urls
+}
+
+// findBackendLocked returns the backend with the given URL.
+func (c *Coordinator) findBackendLocked(url string) *backend {
+	for _, b := range c.backends {
+		if b.url == url {
+			return b
+		}
+	}
+	return nil
+}
+
+// readFileIfExists returns (nil, nil) for a missing file.
+func readFileIfExists(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return b, err
+}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// fleetMetrics are the coordinator counters, guarded by the coordinator
+// mutex (they are only touched under it).
+type fleetMetrics struct {
+	dispatched     int64
+	dispatchErrors int64
+	migrations     int64
+	completed      int64
+	failed         int64
+	cancelled      int64
+	ensembles      int64
+	persistErrors  int64
+}
+
+// handleMetrics emits the coordinator metrics in the Prometheus text format:
+// fleet health and routing counters, per-tenant admission counters, and the
+// scrape-and-sum cady_fleet_agg_* aggregates of the backends' own counters.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+
+	healthy := 0
+	for _, b := range c.backends {
+		if b.healthy {
+			healthy++
+		}
+	}
+	p("# HELP cady_fleet_backends Registered backends.")
+	p("# TYPE cady_fleet_backends gauge")
+	p("cady_fleet_backends %d", len(c.backends))
+	p("# HELP cady_fleet_backends_healthy Backends passing health probes.")
+	p("# TYPE cady_fleet_backends_healthy gauge")
+	p("cady_fleet_backends_healthy %d", healthy)
+
+	states := map[string]int{}
+	for _, id := range c.order {
+		states[c.jobs[id].State.public()]++
+	}
+	p("# HELP cady_fleet_jobs Fleet jobs by state.")
+	p("# TYPE cady_fleet_jobs gauge")
+	for _, st := range []jstate{fQueued, fRunning, fCompleted, fFailed, fCancelled} {
+		p("cady_fleet_jobs{state=%q} %d", string(st), states[string(st)])
+	}
+
+	p("# HELP cady_fleet_dispatches_total Job placements on a backend.")
+	p("# TYPE cady_fleet_dispatches_total counter")
+	p("cady_fleet_dispatches_total %d", c.met.dispatched)
+	p("# HELP cady_fleet_dispatch_errors_total Dispatch rounds where no backend accepted the job.")
+	p("# TYPE cady_fleet_dispatch_errors_total counter")
+	p("cady_fleet_dispatch_errors_total %d", c.met.dispatchErrors)
+	p("# HELP cady_fleet_migrations_total Jobs moved off a dead, draining or cancelled-out-of-band backend.")
+	p("# TYPE cady_fleet_migrations_total counter")
+	p("cady_fleet_migrations_total %d", c.met.migrations)
+	p("# HELP cady_fleet_jobs_completed_total Fleet jobs completed.")
+	p("# TYPE cady_fleet_jobs_completed_total counter")
+	p("cady_fleet_jobs_completed_total %d", c.met.completed)
+	p("# HELP cady_fleet_jobs_failed_total Fleet jobs failed.")
+	p("# TYPE cady_fleet_jobs_failed_total counter")
+	p("cady_fleet_jobs_failed_total %d", c.met.failed)
+	p("# HELP cady_fleet_jobs_cancelled_total Fleet jobs cancelled.")
+	p("# TYPE cady_fleet_jobs_cancelled_total counter")
+	p("cady_fleet_jobs_cancelled_total %d", c.met.cancelled)
+	p("# HELP cady_fleet_ensembles_total Ensembles submitted.")
+	p("# TYPE cady_fleet_ensembles_total counter")
+	p("cady_fleet_ensembles_total %d", c.met.ensembles)
+	p("# HELP cady_fleet_persist_errors_total Failed writes of the fleet routing state.")
+	p("# TYPE cady_fleet_persist_errors_total counter")
+	p("cady_fleet_persist_errors_total %d", c.met.persistErrors)
+
+	tenants := make([]string, 0, len(c.tenants))
+	//cadyvet:unordered key collection only; the emission loops below iterate
+	// the sorted slice
+	for t := range c.tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	p("# HELP cady_fleet_tenant_admitted_total Jobs admitted per tenant.")
+	p("# TYPE cady_fleet_tenant_admitted_total counter")
+	for _, t := range tenants {
+		p("cady_fleet_tenant_admitted_total{tenant=%q} %d", t, c.tenants[t].admitted)
+	}
+	p("# HELP cady_fleet_tenant_rejected_total Submissions rejected by the tenant quota.")
+	p("# TYPE cady_fleet_tenant_rejected_total counter")
+	for _, t := range tenants {
+		p("cady_fleet_tenant_rejected_total{tenant=%q} %d", t, c.tenants[t].rejected)
+	}
+	p("# HELP cady_fleet_tenant_queued Jobs waiting in a tenant FIFO.")
+	p("# TYPE cady_fleet_tenant_queued gauge")
+	for _, t := range tenants {
+		p("cady_fleet_tenant_queued{tenant=%q} %d", t, len(c.tenants[t].fifo))
+	}
+	p("# HELP cady_fleet_tenant_inflight Admitted, non-terminal jobs per tenant (quota usage).")
+	p("# TYPE cady_fleet_tenant_inflight gauge")
+	for _, t := range tenants {
+		p("cady_fleet_tenant_inflight{tenant=%q} %d", t, c.tenants[t].inflight)
+	}
+
+	// Scrape-and-sum aggregates: the backends' own counters (overlap/comm
+	// accounting, job and step totals) summed fleet-wide from each backend's
+	// last successful /metrics scrape. Fixed name list, deterministic order.
+	for _, name := range aggNames {
+		sum := 0.0
+		n := 0
+		for _, b := range c.backends {
+			if v, ok := b.counters[name]; ok {
+				sum += v
+				n++
+			}
+		}
+		out := "cady_fleet_agg_" + strings.TrimPrefix(name, "cady_")
+		p("# HELP %s Sum of %s over the last scrape of %d backend(s).", out, name, n)
+		p("# TYPE %s counter", out)
+		p("%s %g", out, sum)
+	}
+
+	p("# HELP cady_fleet_uptime_seconds Seconds since the coordinator started.")
+	p("# TYPE cady_fleet_uptime_seconds gauge")
+	p("cady_fleet_uptime_seconds %.3f", time.Since(c.start).Seconds())
+}

@@ -1,9 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 func (s *Server) routes() {
@@ -12,6 +16,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
+	s.mux.HandleFunc("POST /drain", s.handleDrain)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 }
@@ -58,6 +63,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
 		return
 	}
+	// The tenant rides either in the spec or in the X-Tenant header (the
+	// fleet convention); the header wins only when the spec leaves it empty.
+	if h := r.Header.Get("X-Tenant"); h != "" && spec.Tenant == "" {
+		spec.Tenant = h
+	}
 	j, err := s.Submit(spec)
 	if err != nil {
 		submitError(w, err)
@@ -66,13 +76,70 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
+// handleList serves GET /jobs with optional ?status= filter and
+// ?offset=/?limit= pagination (limit 0 = everything after offset). The
+// response keeps jobs addressable without the submitter's ID — and gives the
+// fleet coordinator its reconciliation primitive: page through a backend's
+// jobs and match them by shared_key.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.List()
-	out := make([]JobStatus, 0, len(jobs))
-	for _, j := range jobs {
-		out = append(out, j.Status())
+	q := r.URL.Query()
+	var filter JState
+	if v := q.Get("status"); v != "" {
+		switch JState(v) {
+		case JQueued, JRunning, JRetrying, JCompleted, JCancelled, JInterrupted, JFailed:
+			filter = JState(v)
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "unknown status " + strconv.Quote(v)})
+			return
+		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad offset: " + err.Error()})
+		return
+	}
+	limit, err := queryInt(q.Get("limit"), 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad limit: " + err.Error()})
+		return
+	}
+
+	all := make([]JobStatus, 0, 16)
+	for _, j := range s.List() {
+		st := j.Status()
+		if filter == "" || st.State == filter {
+			all = append(all, st)
+		}
+	}
+	total := len(all)
+	if offset > total {
+		offset = total
+	}
+	page := all[offset:]
+	if limit > 0 && limit < len(page) {
+		page = page[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":   page,
+		"total":  total,
+		"offset": offset,
+		"count":  len(page),
+	})
+}
+
+// queryInt parses a non-negative integer query parameter.
+func queryInt(v string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%d must be >= 0", n)
+	}
+	return n, nil
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -115,6 +182,22 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleDrain starts an asynchronous graceful shutdown — the coordinator's
+// drain hook for taking a backend out of rotation: running jobs stop at
+// their next checkpointed step boundary, /healthz flips to 503 immediately,
+// and migrated jobs resume elsewhere from the shared store.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	already := s.Draining()
+	if !already {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			defer cancel()
+			s.Shutdown(ctx)
+		}()
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"draining": true, "already_draining": already})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

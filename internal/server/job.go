@@ -83,6 +83,28 @@ type JobSpec struct {
 
 	// Ps is the process-count axis of figures jobs.
 	Ps []int `json:"ps,omitempty"`
+
+	// Tenant attributes the job to a tenant for fleet quota accounting and
+	// per-tenant metrics. Free-form but restricted to [a-zA-Z0-9._-]; empty
+	// means the anonymous tenant. Set from the X-Tenant header by the
+	// coordinator, passed through to backends.
+	Tenant string `json:"tenant,omitempty"`
+
+	// SharedKey keys this job's checkpoints in the shared artifact store
+	// (Config.Shared): every snapshot is dual-written there, and a fresh
+	// execution with no local checkpoint resumes from the newest shared one.
+	// The fleet coordinator sets it to the fleet job ID so a job migrated
+	// off a dead backend resumes on another. Run jobs only.
+	SharedKey string `json:"shared_key,omitempty"`
+
+	// PerturbAmp > 0 applies a deterministic multiplicative perturbation of
+	// relative amplitude PerturbAmp to the initial U, V and Φ fields, seeded
+	// by PerturbSeed — the ensemble-member mechanism. The noise at a grid
+	// point depends only on (seed, global index, component), so any process
+	// layout produces the same global initial state; Psa is untouched so the
+	// surface-pressure and dry-mass diagnostics stay those of the base state.
+	PerturbAmp  float64 `json:"perturb_amp,omitempty"`
+	PerturbSeed int64   `json:"perturb_seed,omitempty"`
 }
 
 // service guardrails: a submitted spec may not exceed these.
@@ -148,6 +170,18 @@ func (sp *JobSpec) Normalize() error {
 	}
 	if sp.MaxRestarts != nil && *sp.MaxRestarts < 0 {
 		return fmt.Errorf("max_restarts = %d must be >= 0", *sp.MaxRestarts)
+	}
+	if err := validLabel("tenant", sp.Tenant, 64); err != nil {
+		return err
+	}
+	if err := validLabel("shared_key", sp.SharedKey, 128); err != nil {
+		return err
+	}
+	if sp.PerturbAmp < 0 || sp.PerturbAmp > 0.1 {
+		return fmt.Errorf("perturb_amp = %g outside [0, 0.1]", sp.PerturbAmp)
+	}
+	if sp.Kind != "run" && (sp.SharedKey != "" || sp.PerturbAmp != 0 || sp.PerturbSeed != 0) {
+		return fmt.Errorf("shared_key/perturb_* are only meaningful for run jobs")
 	}
 	if sp.Kind == "figures" {
 		if sp.MaxRestarts != nil {
@@ -251,6 +285,23 @@ func (sp *JobSpec) Normalize() error {
 	return nil
 }
 
+// validLabel validates the fleet identity fields: filename- and
+// metrics-label-safe, bounded length, empty allowed.
+func validLabel(field, v string, maxLen int) error {
+	if len(v) > maxLen {
+		return fmt.Errorf("%s %q exceeds %d chars", field, v, maxLen)
+	}
+	for _, c := range v {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("%s %q has invalid char %q (want [a-zA-Z0-9._-])", field, v, c)
+		}
+	}
+	return nil
+}
+
 // config translates the numeric parameters of a spec into a dycore Config.
 func (sp JobSpec) config() dycore.Config {
 	cfg := dycore.DefaultConfig()
@@ -315,6 +366,10 @@ func (st JState) terminal() bool {
 	}
 	return false
 }
+
+// Terminal is the exported form of terminal for API clients (the fleet
+// coordinator classifies backend job states with it).
+func (st JState) Terminal() bool { return st.terminal() }
 
 // Job is one tracked job. All mutable fields are guarded by mu; the
 // identity fields (ID, Spec) are immutable after creation.

@@ -31,6 +31,10 @@ type metrics struct {
 	restarts      atomic.Int64
 	persistErrors atomic.Int64
 
+	// shared-artifact-store traffic (fleet dual-writes and migrations)
+	sharedPuts    atomic.Int64
+	sharedResumes atomic.Int64
+
 	// communication-overlap accounting, accumulated from every run
 	// segment's critical-path statistics (guarded by exchMu).
 	exchMu     sync.Mutex
@@ -129,6 +133,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP cady_persist_errors_total Durable writes (spec, meta, checkpoint) that failed.")
 	p("# TYPE cady_persist_errors_total counter")
 	p("cady_persist_errors_total %d", s.met.persistErrors.Load())
+	p("# HELP cady_shared_snapshots_total Checkpoints dual-written to the shared artifact store.")
+	p("# TYPE cady_shared_snapshots_total counter")
+	p("cady_shared_snapshots_total %d", s.met.sharedPuts.Load())
+	p("# HELP cady_shared_resumes_total Job segments resumed from a shared-store checkpoint written by another backend.")
+	p("# TYPE cady_shared_resumes_total counter")
+	p("cady_shared_resumes_total %d", s.met.sharedResumes.Load())
 
 	s.met.exchMu.Lock()
 	p("# HELP cady_comm_exposed_seconds_total Simulated communication seconds on the critical path, summed over run segments.")

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"cadycore/internal/dycore"
+	"cadycore/internal/grid"
+	"cadycore/internal/state"
+)
+
+// perturbInit wraps an initializer with the ensemble-member perturbation:
+// after base fills the owned region, every owned (i, j, k) point of U, V and
+// Φ is scaled by 1 + amp·ε, with ε ∈ [-1, 1) drawn from a splitmix64-style
+// hash of (seed, global linear index, component) — the same generator family
+// the fault injector uses for its per-rank streams. Because ε depends only on
+// global coordinates, every decomposition of the same (seed, amp) produces a
+// bitwise-identical global initial state, and multiplicative noise preserves
+// the exact zeros of the polar V rows. Psa is left untouched.
+func perturbInit(base dycore.InitFunc, seed int64, amp float64) dycore.InitFunc {
+	return func(g *grid.Grid, st *state.State) {
+		base(g, st)
+		b := st.B
+		for k := b.K0; k < b.K1; k++ {
+			for j := b.J0; j < b.J1; j++ {
+				for i := b.I0; i < b.I1; i++ {
+					n := uint64((k*g.Ny+j)*g.Nx + i)
+					st.U.Set(i, j, k, st.U.At(i, j, k)*(1+amp*unitNoise(seed, 3*n)))
+					st.V.Set(i, j, k, st.V.At(i, j, k)*(1+amp*unitNoise(seed, 3*n+1)))
+					st.Phi.Set(i, j, k, st.Phi.At(i, j, k)*(1+amp*unitNoise(seed, 3*n+2)))
+				}
+			}
+		}
+	}
+}
+
+// unitNoise maps (seed, counter) to a deterministic value in [-1, 1) through
+// the splitmix64 finalizer (golden-ratio seeding like comm.NewFaults).
+func unitNoise(seed int64, n uint64) float64 {
+	z := (uint64(seed)+1)*0x9e3779b97f4a7c15 ^ (n+1)*0xd1342543de82ef95
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<52) - 1
+}

@@ -37,6 +37,13 @@ type Config struct {
 	// checkpoints under Dir/<job-id>/ so jobs survive a process restart
 	// (see New, which recovers them).
 	Dir string
+	// Shared, when non-nil, is a checkpoint store shared with other backends
+	// (typically a checkpoint.DirStore on a directory every fleet member
+	// mounts). Jobs with a non-empty spec shared_key dual-write their
+	// checkpoints there keyed by it, and — when the job has no local
+	// checkpoint — resume from the newest shared snapshot, which is how a
+	// coordinator migrates a job from a dead backend to this one.
+	Shared checkpoint.Store
 	// Model is the simulated network cost model (default comm.TianheLike).
 	Model comm.NetModel
 	// Planner chooses layouts for "layout": "auto" jobs. Nil builds a
@@ -112,7 +119,8 @@ type Server struct {
 	model   comm.NetModel
 	planner *tune.Planner
 	restart RestartPolicy
-	chaos   *fault.Plan // nil when chaos testing is off
+	chaos   *fault.Plan      // nil when chaos testing is off
+	shared  checkpoint.Store // nil when no shared artifact store is attached
 	mux     *http.ServeMux
 	met     metrics
 	start   time.Time
@@ -177,6 +185,7 @@ func New(cfg Config) (*Server, error) {
 		planner: planner,
 		restart: cfg.Restart.normalize(),
 		chaos:   chaos,
+		shared:  cfg.Shared,
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, cfg.QueueCap),
 		start:   time.Now(),
@@ -490,10 +499,27 @@ func (s *Server) runJob(j *Job) {
 
 	init := dycore.InitFunc(heldsuarez.InitialState)
 	snap, segBase := j.latestSnapshot()
+	if snap == nil {
+		// No local checkpoint: a shared-store snapshot means another backend
+		// ran (part of) this job before it was migrated here — adopt it.
+		if gl, step := s.sharedSnapshot(j); gl != nil {
+			snap, segBase = gl, step
+			j.mu.Lock()
+			j.ckptStep = step
+			j.snap = gl
+			j.stepsDone = step
+			j.mu.Unlock()
+			s.met.sharedResumes.Add(1)
+		}
+	}
 	if snap != nil {
 		init = snap.InitFunc()
 	} else {
 		segBase = 0
+		if j.Spec.PerturbAmp > 0 {
+			// Fresh start of an ensemble member: perturb the initial state.
+			init = perturbInit(init, j.Spec.PerturbSeed, j.Spec.PerturbAmp)
+		}
 	}
 	remaining := j.Spec.Steps - segBase
 	if remaining <= 0 {
@@ -527,6 +553,7 @@ func (s *Server) runJob(j *Job) {
 			j.setSnapshot(segBase+done, gl)
 			s.met.snapshots.Add(1)
 			s.persistSnap(j, gl)
+			s.shareSnap(j, segBase+done, gl)
 		},
 	}
 	if s.chaos != nil {
@@ -578,6 +605,26 @@ func (s *Server) runJob(j *Job) {
 	j.ckptStep = j.stepsDone
 	s.met.completed.Add(1)
 	s.persistSnapLocked(j, final)
+	s.shareSnapLocked(j, j.stepsDone, final)
+}
+
+// sharedSnapshot loads the newest shared-store snapshot of a job keyed for
+// dual-write, skipping snapshots whose mesh does not match (a reused key).
+func (s *Server) sharedSnapshot(j *Job) (*checkpoint.Global, int) {
+	if s.shared == nil || j.Spec.SharedKey == "" || j.Spec.Kind != "run" {
+		return nil, 0
+	}
+	gl, step, err := s.shared.Latest(j.Spec.SharedKey)
+	if err != nil || gl == nil {
+		return nil, 0
+	}
+	if gl.Nx != j.Spec.Nx || gl.Ny != j.Spec.Ny || gl.Nz != j.Spec.Nz {
+		return nil, 0
+	}
+	if step > j.Spec.Steps {
+		return nil, 0
+	}
+	return gl, step
 }
 
 // handleAbort translates an injected rank death into the restart policy:
@@ -816,78 +863,45 @@ func (s *Server) persistSnapLocked(j *Job, gl *checkpoint.Global) {
 	s.persistMetaLocked(j)
 }
 
-// writeSnapFile durably writes one checkpoint: temp file, fsync, rename,
-// parent-dir fsync. The temp file lives in the destination directory (a
-// cross-device rename would not be atomic); a process death between
-// create and rename can strand it, which is why recover() sweeps *.tmp
-// before trusting a job directory.
+// shareSnap dual-writes a checkpoint into the shared artifact store under
+// the job's shared_key, stamped with its global step boundary.
+func (s *Server) shareSnap(j *Job, step int, gl *checkpoint.Global) {
+	if s.shared == nil || j.Spec.SharedKey == "" {
+		return
+	}
+	err := s.shared.Put(j.Spec.SharedKey, step, gl)
+	j.mu.Lock()
+	s.notePersist(j, err)
+	j.mu.Unlock()
+	if err == nil {
+		s.met.sharedPuts.Add(1)
+	}
+}
+
+// shareSnapLocked is shareSnap for callers already holding the job lock.
+func (s *Server) shareSnapLocked(j *Job, step int, gl *checkpoint.Global) {
+	if s.shared == nil || j.Spec.SharedKey == "" {
+		return
+	}
+	err := s.shared.Put(j.Spec.SharedKey, step, gl)
+	s.notePersist(j, err)
+	if err == nil {
+		s.met.sharedPuts.Add(1)
+	}
+}
+
+// writeSnapFile durably writes one checkpoint (checkpoint.WriteAtomic: temp
+// file, fsync, rename, parent-dir fsync). The temp file lives in the
+// destination directory (a cross-device rename would not be atomic); a
+// process death between create and rename can strand it, which is why
+// recover() sweeps *.tmp before trusting a job directory.
 func writeSnapFile(path string, gl *checkpoint.Global) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := gl.Write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return syncDir(filepath.Dir(path))
+	return checkpoint.WriteAtomic(path, gl)
 }
 
-// writeFileAtomic durably replaces path with b (same protocol as
-// writeSnapFile).
+// writeFileAtomic durably replaces path with b (same protocol).
 func writeFileAtomic(path string, b []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(b); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory so a just-renamed entry survives a power loss.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return checkpoint.WriteFileAtomic(path, b)
 }
 
 // recover re-registers persisted jobs from cfg.Dir. Jobs that were queued,
