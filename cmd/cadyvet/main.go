@@ -5,9 +5,10 @@
 //	go vet -vettool=bin/cadyvet ./...
 //
 // and checks the whole module (with per-package caching and cross-package
-// facts provided by the go command). See internal/analysis for the three
-// analyzers — allocfree, commsym, detorder — and the //cadyvet:* annotation
-// vocabulary.
+// facts provided by the go command). `cadyvet -list` prints the enabled
+// analyzers. See internal/analysis for the suite — allocfree, commsym,
+// detorder, overlap, guardedby, crashsafe, goleak — and the //cadyvet:*
+// annotation vocabulary.
 package main
 
 import "cadycore/internal/analysis"

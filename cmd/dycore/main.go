@@ -21,6 +21,8 @@
 // an injected rank crash aborts the run, which then restarts from the
 // latest -save/-save-every checkpoint (from the initial state when none
 // exists), up to -max-restarts times.
+//
+//cadyvet:persistence -save checkpoints are resumed from after a crash; writes go through checkpoint.WriteAtomic
 package main
 
 import (
@@ -254,28 +256,10 @@ func main() {
 		diag.KineticEnergy(g, res.Finals), diag.AvailableEnergy(g, res.Finals))
 }
 
-// writeCheckpoint writes the snapshot durably: temp file + fsync + rename,
-// so an interrupted or unflushed write leaves the previous checkpoint
-// intact.
+// writeCheckpoint writes the snapshot durably through the blessed commit
+// helper. The previous hand-rolled copy of the protocol stopped after the
+// rename: without the parent-directory fsync a power loss could drop the
+// just-renamed entry, losing the checkpoint the rename claimed to commit.
 func writeCheckpoint(path string, snap *checkpoint.Global) error {
-	tmp := path + ".tmp"
-	fh, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := snap.Write(fh); err != nil {
-		fh.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := fh.Sync(); err != nil {
-		fh.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := fh.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return checkpoint.WriteAtomic(path, snap)
 }

@@ -1,7 +1,7 @@
 // Package analysis is a self-contained (standard-library-only) static
 // analysis suite for this module, in the style of golang.org/x/tools
-// go/analysis. It provides four domain-specific analyzers that turn the
-// paper's runtime invariants into build-time guarantees:
+// go/analysis. It provides seven domain-specific analyzers that turn the
+// module's runtime invariants into build-time guarantees:
 //
 //   - allocfree: functions annotated //cadyvet:allocfree (and, transitively,
 //     everything they call) must not allocate on the heap. This promotes the
@@ -21,6 +21,21 @@
 //     (chained, or by the very next statement) pays the split exchange's
 //     bookkeeping while hiding zero compute; independent interior work
 //     belongs between the two calls, or the round must justify quiescing.
+//   - guardedby: struct fields annotated //cadyvet:guardedby <mu> may only
+//     be touched while the named sibling mutex is held (tracked
+//     flow-sensitively per function; //cadyvet:locked declares a
+//     caller-holds-lock contract that propagates to call sites via facts).
+//     Also: a Lock with no Unlock on some return path, and a guarded field
+//     whose address additionally flows into sync/atomic.
+//   - crashsafe: in packages annotated //cadyvet:persistence, durable-path
+//     mutations (os.Create/Rename/WriteFile/OpenFile) must flow through the
+//     //cadyvet:blessed commit helpers (fsync + rename + dir fsync); temp
+//     files must be created in the destination directory; Sync/Close/Rename
+//     errors on write paths must be checked.
+//   - goleak: goroutines launched inside //cadyvet:component long-lived
+//     functions must (transitively) block on a shutdown signal — a channel
+//     receive, select, channel range, or WaitGroup.Wait. Module-wide:
+//     time.After inside a loop and time.Tick anywhere.
 //
 // The suite is wired into `go vet -vettool` by cmd/cadyvet (see unit.go for
 // the protocol) and is runnable on isolated fixture packages in tests (see
@@ -28,8 +43,8 @@
 //
 // # Annotations
 //
-// cadyvet understands six comment directives. Every waiver form requires a
-// written justification after the directive word; an empty justification is
+// cadyvet understands fourteen comment directives. Every waiver form requires
+// a written justification after the directive word; an empty justification is
 // itself a diagnostic.
 //
 //	//cadyvet:allocfree
@@ -54,6 +69,35 @@
 //	    Begin: assert the round deliberately exposes the full exchange
 //	    latency (ablation reference path, bootstrap fill with no
 //	    independent compute, …).
+//	//cadyvet:guardedby <mu>
+//	    On a struct field: the field may only be read while <mu> (a sibling
+//	    mutex field of the same struct) is held (RLock suffices), and only
+//	    written while it is write-held.
+//	//cadyvet:locked <recv>.<mu>
+//	    On a function's doc comment: the caller holds the named lock for
+//	    the whole call. Seeds the held set at entry and, for methods,
+//	    exports a fact so call sites are checked against the caller's
+//	    held-lock set across package boundaries.
+//	//cadyvet:unshared <why>
+//	    On (or above) a guarded-field access, or on the enclosing
+//	    function's doc comment: assert the object is not yet shared
+//	    (under construction, or exclusively owned) so no lock is needed.
+//	//cadyvet:persistence <what>
+//	    Anywhere in a package (conventionally the package doc): mark the
+//	    package a persistence surface; crashsafe checks its write paths.
+//	//cadyvet:blessed <why>
+//	    On a function's doc comment: the function IS the crash-safe commit
+//	    protocol (temp + fsync + rename + dir fsync); raw filesystem calls
+//	    inside it are exempt and calls to it are the sanctioned route.
+//	//cadyvet:volatile <why>
+//	    On (or above) a raw filesystem mutation in a persistence package:
+//	    assert the target is not durable state (scratch, best-effort).
+//	//cadyvet:component
+//	    On a function's doc comment: the function belongs to a long-lived
+//	    component; every goroutine it launches must have a shutdown path.
+//	//cadyvet:shortlived <why>
+//	    On (or above) a go statement in a component function: assert the
+//	    goroutine provably terminates on its own (bounded work).
 package analysis
 
 import (
@@ -73,9 +117,10 @@ type Analyzer struct {
 }
 
 // All returns the full cadyvet suite in execution order. The order matters:
-// allocfree and commsym publish function facts that detorder consumes.
+// allocfree and commsym publish function facts that detorder consumes, and
+// the later analyzers merge their fact fields into the same records.
 func All() []*Analyzer {
-	return []*Analyzer{AllocFree, CommSym, DetOrder, Overlap}
+	return []*Analyzer{AllocFree, CommSym, DetOrder, Overlap, GuardedBy, CrashSafe, GoLeak}
 }
 
 // A Diagnostic is one finding.
@@ -159,6 +204,14 @@ const (
 	dirRankUniform = "rankuniform"
 	dirUnordered   = "unordered"
 	dirQuiesce     = "quiesce"
+	dirGuardedBy   = "guardedby"
+	dirLocked      = "locked"
+	dirUnshared    = "unshared"
+	dirPersistence = "persistence"
+	dirBlessed     = "blessed"
+	dirVolatile    = "volatile"
+	dirComponent   = "component"
+	dirShortLived  = "shortlived"
 )
 
 type directive struct {
@@ -245,9 +298,18 @@ func (p *Pass) reportBadDirectives() {
 		}
 		seen[d] = true
 		switch d.kind {
-		case dirAllocFree:
-			// Marker, no reason needed.
-		case dirAssumeClean, dirAllow, dirRankUniform, dirUnordered, dirQuiesce:
+		case dirAllocFree, dirComponent:
+			// Markers, no reason needed.
+		case dirGuardedBy, dirLocked:
+			if d.reason == "" {
+				p.diags = append(p.diags, &Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "cadyvet",
+					Message:  fmt.Sprintf("cadyvet:%s directive requires the guard (mutex) name", d.kind),
+				})
+			}
+		case dirAssumeClean, dirAllow, dirRankUniform, dirUnordered, dirQuiesce,
+			dirUnshared, dirPersistence, dirBlessed, dirVolatile, dirShortLived:
 			if d.reason == "" {
 				p.diags = append(p.diags, &Diagnostic{
 					Pos:      d.pos,

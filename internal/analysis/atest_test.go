@@ -179,11 +179,17 @@ func TestCommSymTransitive(t *testing.T)       { runFixture(t, "commsym_x") }
 func TestDetOrderFixture(t *testing.T)         { runFixture(t, "detorder") }
 func TestDirectiveHygieneFixture(t *testing.T) { runFixture(t, "directives") }
 func TestOverlapFixture(t *testing.T)          { runFixture(t, "overlap") }
+func TestGuardedByFixture(t *testing.T)        { runFixture(t, "guardedby") }
+func TestGuardedByCrossPkg(t *testing.T)       { runFixture(t, "guardedby_x") }
+func TestCrashSafeFixture(t *testing.T)        { runFixture(t, "crashsafe") }
+func TestCrashSafeCrossPkg(t *testing.T)       { runFixture(t, "crashsafe_x") }
+func TestGoLeakFixture(t *testing.T)           { runFixture(t, "goleak") }
+func TestGoLeakCrossPkg(t *testing.T)          { runFixture(t, "goleak_x") }
 
 // TestFixtureDepsClean ensures the shared fixture stand-ins for comm/topo are
 // themselves quiet (they model the library, not findings).
 func TestFixtureDepsClean(t *testing.T) {
-	for _, path := range []string{"comm", "topo", "kernels"} {
+	for _, path := range []string{"comm", "topo", "kernels", "sync", "os", "time", "atomic", "gstore", "diskio", "pump"} {
 		l := newFixtureLoader(t)
 		if _, err := l.Import(path); err != nil {
 			t.Fatalf("loading fixture %q: %v", path, err)

@@ -33,6 +33,24 @@ type FuncFact struct {
 	// topo.Exchanger halo exchange. commsym flags rank-conditional calls to
 	// such functions.
 	Collective bool `json:"coll,omitempty"`
+	// NeedsLock names the receiver field whose mutex the caller must hold
+	// when calling this method (//cadyvet:locked, receiver-relative).
+	// guardedby checks call sites — including cross-package ones — against
+	// the caller's held-lock set.
+	NeedsLock string `json:"needslock,omitempty"`
+	// Blessed marks a function that implements the raw crash-safe commit
+	// protocol (//cadyvet:blessed): raw filesystem mutations inside it are
+	// the protocol, and calls to it satisfy crashsafe.
+	Blessed bool `json:"blessed,omitempty"`
+	// RawWrite explains a raw (unblessed) durable-path mutation the function
+	// transitively performs, e.g. "os.Rename at checkpoint/store.go:88".
+	// Empty for functions that only write through blessed helpers.
+	RawWrite string `json:"rawwrite,omitempty"`
+	// Waits reports that the function (transitively) blocks on a shutdown
+	// signal: a channel receive, a select, ranging over a channel, or a
+	// sync.WaitGroup.Wait. goleak requires it of goroutines launched in
+	// long-lived components.
+	Waits bool `json:"waits,omitempty"`
 }
 
 // PkgFacts is the fact file content for one package.

@@ -1,0 +1,665 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedBy enforces //cadyvet:guardedby: a struct field annotated
+//
+//	mu   sync.Mutex
+//	jobs map[string]*Job //cadyvet:guardedby mu
+//
+// may only be read while the named sibling mutex is held on the same base
+// value (s.mu for an access to s.jobs), and only written while it is
+// write-held (RLock admits reads only). Lock state is tracked
+// flow-sensitively per function: mu.Lock()/mu.Unlock() pairs, defer
+// mu.Unlock(), branch merging by intersection. Functions whose caller holds
+// the lock declare it with //cadyvet:locked <recv>.<mu>; the contract seeds
+// the held set at entry and is exported as a fact, so call sites — including
+// cross-package ones — are themselves checked to hold the lock. The analyzer
+// additionally flags:
+//
+//   - a Lock (or RLock) with no matching Unlock on some return path —
+//     the caller-visible deadlock class;
+//   - a guarded field whose address is passed to sync/atomic: mixing
+//     atomic and mutex access means neither discipline protects it.
+//
+// Goroutine bodies and function literals never inherit the launcher's held
+// set (a goroutine does not hold its parent's lock); a literal that runs
+// under the lock by construction may carry its own //cadyvet:locked line.
+// //cadyvet:unshared (statement or function level) waives an access on an
+// object that is not yet shared; //cadyvet:allow waives a leak or
+// mixed-atomic finding.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "enforce //cadyvet:guardedby fields are only touched with the named mutex held",
+}
+
+func init() { GuardedBy.Run = runGuardedBy }
+
+type lockMode int
+
+const (
+	lockRead  lockMode = iota + 1 // RLock held: reads only
+	lockWrite                     // Lock held: reads and writes
+)
+
+type lockInfo struct {
+	mode     lockMode
+	pos      token.Pos // the acquiring Lock call; NoPos when seeded by contract
+	deferred bool      // a deferred Unlock releases it at every return
+	seeded   bool      // held by //cadyvet:locked contract — the caller releases
+}
+
+// lockSet maps a rendered guard path ("s.mu", "c.mu") to its hold state.
+type lockSet map[string]*lockInfo
+
+func (h lockSet) clone() lockSet {
+	c := make(lockSet, len(h))
+	for k, v := range h {
+		vv := *v
+		c[k] = &vv
+	}
+	return c
+}
+
+// mergeLocks intersects two fall-through states: a lock counts as held after
+// a branch only if every arriving path holds it, at the weaker mode.
+func mergeLocks(a, b lockSet) lockSet {
+	out := make(lockSet)
+	for k, va := range a {
+		vb := b[k]
+		if vb == nil {
+			continue
+		}
+		v := *va
+		if vb.mode < v.mode {
+			v.mode = vb.mode
+		}
+		v.deferred = va.deferred || vb.deferred
+		v.seeded = va.seeded && vb.seeded
+		out[k] = &v
+	}
+	return out
+}
+
+type gbState struct {
+	p *Pass
+	// guarded maps an annotated field object to its guard field name.
+	guarded map[*types.Var]string
+	// needs maps a local //cadyvet:locked method to its receiver-relative
+	// guard field name (imported functions resolve through facts).
+	needs map[*types.Func]string
+	// contracts maps a local locked function to its raw guard paths.
+	contracts map[*types.Func][]string
+}
+
+func runGuardedBy(p *Pass) {
+	s := &gbState{
+		p:         p,
+		guarded:   make(map[*types.Var]string),
+		needs:     make(map[*types.Func]string),
+		contracts: make(map[*types.Func][]string),
+	}
+	s.collectGuarded()
+	fds := p.enclosingFuncs()
+
+	// Collect //cadyvet:locked contracts and export the receiver-relative
+	// ones as NeedsLock facts.
+	for _, fd := range fds {
+		d := p.funcDirective(fd.decl, dirLocked)
+		if d == nil {
+			continue
+		}
+		d.used = true
+		guards := strings.Fields(d.reason)
+		s.contracts[fd.obj] = guards
+		if recv := recvName(fd.decl); recv != "" {
+			for _, g := range guards {
+				if field, ok := strings.CutPrefix(g, recv+"."); ok && !strings.Contains(field, ".") {
+					s.needs[fd.obj] = field
+					key := funcKey(fd.obj)
+					fact := p.Facts.Current.Funcs[key]
+					fact.NeedsLock = field
+					p.Facts.Put(key, fact)
+					break
+				}
+			}
+		}
+	}
+
+	for _, fd := range fds {
+		if fd.decl.Body == nil {
+			continue
+		}
+		if d := p.funcDirective(fd.decl, dirUnshared); d != nil {
+			d.used = true
+			continue
+		}
+		w := &gbWalker{s: s, reported: make(map[token.Pos]bool)}
+		held := make(lockSet)
+		for _, g := range s.contracts[fd.obj] {
+			held[g] = &lockInfo{mode: lockWrite, seeded: true}
+		}
+		if out, ft := w.block(fd.decl.Body.List, held); ft {
+			w.leakCheck(out)
+		}
+	}
+}
+
+// collectGuarded indexes //cadyvet:guardedby field annotations. A directive
+// binds to the field on its own line, or — when it occupies a whole comment
+// line — to the field on the next line; a trailing directive never bleeds
+// onto the following field.
+func (s *gbState) collectGuarded() {
+	fieldLines := make(map[string]map[int]bool)
+	var fields []*ast.Ident
+	for _, f := range s.p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					pos := s.p.Fset.Position(name.Pos())
+					lines := fieldLines[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						fieldLines[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+					fields = append(fields, name)
+				}
+			}
+			return true
+		})
+	}
+	for _, name := range fields {
+		pos := s.p.Fset.Position(name.Pos())
+		for _, d := range s.p.ann.byLine[pos.Filename][pos.Line] {
+			if d.kind != dirGuardedBy {
+				continue
+			}
+			if d.pos.Line != pos.Line && fieldLines[pos.Filename][d.pos.Line] {
+				continue // another field's trailing directive
+			}
+			d.used = true
+			if v, ok := s.p.Info.Defs[name].(*types.Var); ok {
+				s.guarded[v] = d.reason
+			}
+			break
+		}
+	}
+}
+
+// needsLock resolves the caller-holds-lock contract of a method: the
+// receiver-relative guard field name, or "".
+func (s *gbState) needsLock(fn *types.Func) string {
+	fn = fn.Origin()
+	if f, ok := s.needs[fn]; ok {
+		return f
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg != s.p.Pkg {
+		if f, ok := s.p.Facts.Imported(pkg.Path(), funcKey(fn)); ok {
+			return f.NeedsLock
+		}
+	}
+	return ""
+}
+
+func recvName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return decl.Recv.List[0].Names[0].Name
+}
+
+// renderPath renders a lock or receiver expression as a stable path string
+// ("s.mu", "c"), or "" when the expression has no simple spelling (then the
+// access is skipped — the analyzer only reasons about named paths).
+func renderPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := renderPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return renderPath(e.X)
+	}
+	return ""
+}
+
+// gbWalker tracks the held-lock set through one function body.
+type gbWalker struct {
+	s        *gbState
+	reported map[token.Pos]bool // leak findings deduped by Lock position
+}
+
+// lockOp classifies a call as a mutex operation on a renderable path.
+func (w *gbWalker) lockOp(call *ast.CallExpr) (path, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn := staticCallee(w.s.p.Info, call)
+	if fn == nil || !(methodOn(fn, "sync", "Mutex") || methodOn(fn, "sync", "RWMutex")) {
+		return "", ""
+	}
+	if p := renderPath(sel.X); p != "" {
+		return p, sel.Sel.Name
+	}
+	return "", ""
+}
+
+// block walks a statement list; reports whether control falls through.
+func (w *gbWalker) block(list []ast.Stmt, held lockSet) (lockSet, bool) {
+	for _, st := range list {
+		var ft bool
+		held, ft = w.stmt(st, held)
+		if !ft {
+			return held, false
+		}
+	}
+	return held, true
+}
+
+func (w *gbWalker) stmt(st ast.Stmt, held lockSet) (lockSet, bool) {
+	switch n := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			if path, op := w.lockOp(call); op != "" {
+				switch op {
+				case "Lock":
+					held[path] = &lockInfo{mode: lockWrite, pos: call.Pos()}
+				case "RLock":
+					held[path] = &lockInfo{mode: lockRead, pos: call.Pos()}
+				case "Unlock", "RUnlock":
+					delete(held, path)
+				}
+				return held, true
+			}
+			if isPanicCall(call) {
+				w.expr(n.X, held, false)
+				return held, false
+			}
+		}
+		w.expr(n.X, held, false)
+		return held, true
+
+	case *ast.DeferStmt:
+		if path, op := w.lockOp(n.Call); op == "Unlock" || op == "RUnlock" {
+			if li := held[path]; li != nil {
+				li.deferred = true
+			}
+			return held, true
+		}
+		// Args are evaluated now; the call itself runs at return with an
+		// unknowable held set, so only literals are walked (lock-free).
+		for _, a := range n.Call.Args {
+			w.expr(a, held, false)
+		}
+		if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+			w.lit(lit)
+		}
+		return held, true
+
+	case *ast.GoStmt:
+		// The goroutine does not inherit the launcher's locks.
+		for _, a := range n.Call.Args {
+			w.expr(a, held, false)
+		}
+		if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+			w.lit(lit)
+		} else {
+			w.call(n.Call, make(lockSet))
+		}
+		return held, true
+
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			w.expr(r, held, false)
+		}
+		if n.Tok != token.DEFINE {
+			for _, l := range n.Lhs {
+				w.expr(l, held, true)
+			}
+		}
+		return held, true
+
+	case *ast.IncDecStmt:
+		w.expr(n.X, held, true)
+		return held, true
+
+	case *ast.IfStmt:
+		if n.Init != nil {
+			held, _ = w.stmt(n.Init, held)
+		}
+		w.expr(n.Cond, held, false)
+		thenHeld, thenFT := w.block(n.Body.List, held.clone())
+		elseHeld, elseFT := held.clone(), true
+		if n.Else != nil {
+			elseHeld, elseFT = w.stmt(n.Else, elseHeld)
+		}
+		switch {
+		case thenFT && elseFT:
+			return mergeLocks(thenHeld, elseHeld), true
+		case thenFT:
+			return thenHeld, true
+		case elseFT:
+			return elseHeld, true
+		default:
+			return held, false
+		}
+
+	case *ast.ForStmt:
+		if n.Init != nil {
+			held, _ = w.stmt(n.Init, held)
+		}
+		if n.Cond != nil {
+			w.expr(n.Cond, held, false)
+		}
+		body := held.clone()
+		if out, ft := w.block(n.Body.List, body); ft && n.Post != nil {
+			w.stmt(n.Post, out)
+		}
+		// Conservatively: the loop leaves the held set as it found it.
+		return held, true
+
+	case *ast.RangeStmt:
+		w.expr(n.X, held, false)
+		w.block(n.Body.List, held.clone())
+		return held, true
+
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			held, _ = w.stmt(n.Init, held)
+		}
+		if n.Tag != nil {
+			w.expr(n.Tag, held, false)
+		}
+		return w.clauses(n.Body.List, held, !switchHasDefault(n.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			held, _ = w.stmt(n.Init, held)
+		}
+		return w.clauses(n.Body.List, held, !switchHasDefault(n.Body.List))
+
+	case *ast.SelectStmt:
+		return w.clauses(n.Body.List, held, false)
+
+	case *ast.BlockStmt:
+		return w.block(n.List, held)
+
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			w.expr(r, held, false)
+		}
+		w.leakCheck(held)
+		return held, false
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the local flow; the loop-level state is
+		// already conservative.
+		return held, false
+
+	case *ast.LabeledStmt:
+		return w.stmt(n.Stmt, held)
+
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held, false)
+					}
+				}
+			}
+		}
+		return held, true
+
+	case *ast.SendStmt:
+		w.expr(n.Chan, held, false)
+		w.expr(n.Value, held, false)
+		return held, true
+	}
+	return held, true
+}
+
+// clauses walks the case/comm clauses of a switch or select, merging the
+// fall-through states by intersection. mayskip adds the pre-switch state as
+// a path (a switch without default may match no case).
+func (w *gbWalker) clauses(list []ast.Stmt, held lockSet, mayskip bool) (lockSet, bool) {
+	var out lockSet
+	ft := false
+	absorb := func(h lockSet, f bool) {
+		if !f {
+			return
+		}
+		if out == nil {
+			out = h
+		} else {
+			out = mergeLocks(out, h)
+		}
+		ft = true
+	}
+	if mayskip {
+		absorb(held.clone(), true)
+	}
+	for _, c := range list {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.expr(e, held, false)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				held, _ = w.stmt(cc.Comm, held)
+			}
+			body = cc.Body
+		default:
+			continue
+		}
+		h, f := w.block(body, held.clone())
+		absorb(h, f)
+	}
+	if !ft {
+		return held, false
+	}
+	return out, true
+}
+
+func switchHasDefault(list []ast.Stmt) bool {
+	for _, c := range list {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// lit analyzes a function literal with a fresh held set (literals do not
+// inherit the enclosing lock state; a //cadyvet:locked line on the literal
+// asserts it only runs under the named lock).
+func (w *gbWalker) lit(lit *ast.FuncLit) {
+	held := make(lockSet)
+	if d := w.s.p.ann.at(w.s.p.Fset.Position(lit.Pos()), dirLocked); d != nil {
+		d.used = true
+		for _, g := range strings.Fields(d.reason) {
+			held[g] = &lockInfo{mode: lockWrite, seeded: true}
+		}
+	}
+	if out, ft := w.block(lit.Body.List, held); ft {
+		w.leakCheck(out)
+	}
+}
+
+// leakCheck reports locks acquired in this function that are still held at a
+// return point without a deferred release.
+func (w *gbWalker) leakCheck(held lockSet) {
+	for path, li := range held {
+		if li.seeded || li.deferred || !li.pos.IsValid() || w.reported[li.pos] {
+			continue
+		}
+		w.reported[li.pos] = true
+		w.s.p.report(GuardedBy.Name, li.pos, dirAllow,
+			"%s is locked here but not released on some return path (missing Unlock or defer)", path)
+	}
+}
+
+// expr walks an expression checking guarded-field accesses. asWrite marks
+// the mutation position of an assignment target or address-taken operand.
+func (w *gbWalker) expr(e ast.Expr, held lockSet, asWrite bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		w.expr(e.X, held, asWrite)
+	case *ast.SelectorExpr:
+		w.fieldAccess(e, held, asWrite)
+		w.expr(e.X, held, false)
+	case *ast.StarExpr:
+		w.expr(e.X, held, asWrite)
+	case *ast.IndexExpr:
+		w.expr(e.X, held, asWrite)
+		w.expr(e.Index, held, false)
+	case *ast.IndexListExpr:
+		w.expr(e.X, held, asWrite)
+		for _, i := range e.Indices {
+			w.expr(i, held, false)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, held, false)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				w.expr(b, held, false)
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			w.expr(e.X, held, true)
+		} else {
+			w.expr(e.X, held, false)
+		}
+	case *ast.BinaryExpr:
+		w.expr(e.X, held, false)
+		w.expr(e.Y, held, false)
+	case *ast.CallExpr:
+		w.call(e, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, held, false)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, held, false)
+		w.expr(e.Value, held, false)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, held, false)
+	case *ast.FuncLit:
+		w.lit(e)
+	}
+}
+
+// call checks a call expression: mixed atomic/mutex access of guarded
+// fields, //cadyvet:locked contracts of the callee, and its arguments.
+func (w *gbWalker) call(call *ast.CallExpr, held lockSet) {
+	p := w.s.p
+	fn := staticCallee(p.Info, call)
+	handled := map[ast.Expr]bool{}
+
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "atomic" {
+		for _, arg := range call.Args {
+			ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if obj, guard := w.guardedField(sel); obj != nil {
+				handled[arg] = true
+				p.report(GuardedBy.Name, arg.Pos(), dirAllow,
+					"field %s is guarded by %s but its address is passed to atomic.%s: mixed atomic/mutex access protects nothing",
+					obj.Name(), guard, fn.Name())
+			}
+		}
+	}
+
+	if fn != nil {
+		if field := w.s.needsLock(fn); field != "" {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if base := renderPath(sel.X); base != "" {
+					if held[base+"."+field] == nil {
+						p.report(GuardedBy.Name, call.Pos(), dirUnshared,
+							"call to %s requires %s.%s held (declared cadyvet:locked)", fn.Name(), base, field)
+					}
+				}
+			}
+		}
+	}
+
+	w.expr(call.Fun, held, false)
+	for _, a := range call.Args {
+		if !handled[a] {
+			w.expr(a, held, false)
+		}
+	}
+}
+
+// guardedField resolves a selector to an annotated field and its guard.
+func (w *gbWalker) guardedField(sel *ast.SelectorExpr) (*types.Var, string) {
+	s2, ok := w.s.p.Info.Selections[sel]
+	if !ok || s2.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	v, ok := s2.Obj().(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	guard, ok := w.s.guarded[v]
+	if !ok {
+		return nil, ""
+	}
+	return v, guard
+}
+
+// fieldAccess checks one guarded-field selector against the held set.
+func (w *gbWalker) fieldAccess(sel *ast.SelectorExpr, held lockSet, asWrite bool) {
+	v, guard := w.guardedField(sel)
+	if v == nil {
+		return
+	}
+	base := renderPath(sel.X)
+	if base == "" {
+		return // no simple spelling for the base: out of model
+	}
+	li := held[base+"."+guard]
+	p := w.s.p
+	switch {
+	case li == nil:
+		p.report(GuardedBy.Name, sel.Sel.Pos(), dirUnshared,
+			"access to %s.%s (guarded by %s) without holding %s.%s", base, v.Name(), guard, base, guard)
+	case asWrite && li.mode < lockWrite:
+		p.report(GuardedBy.Name, sel.Sel.Pos(), dirUnshared,
+			"write to %s.%s (guarded by %s) while holding only the read lock %s.%s", base, v.Name(), guard, base, guard)
+	}
+}
+
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

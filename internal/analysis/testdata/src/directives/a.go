@@ -16,3 +16,14 @@ func lazy(buf *[]float64, n int) {
 
 //cadyvet:assumeclean a justified axiom produces no finding
 func axiom() {}
+
+type anonGuard struct {
+	flag bool //cadyvet:guardedby
+	// want-above "cadyvet:guardedby directive requires the guard .mutex. name"
+}
+
+func bareWaiver() {
+	//cadyvet:shortlived
+	// want-above "requires a written justification"
+	go bareWaiver()
+}

@@ -1,0 +1,13 @@
+// Fixture for cross-package Waits facts: pump.Run blocks on its channel,
+// pump.Spin never does.
+package goleakx
+
+import "pump"
+
+// Start launches the pumps.
+//
+//cadyvet:component
+func Start(ch chan int) {
+	go pump.Run(ch) // ok: Waits fact from pump
+	go pump.Spin()  // want "goroutine launched in long-lived component Start has no shutdown path"
+}

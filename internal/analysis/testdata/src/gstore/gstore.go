@@ -1,0 +1,25 @@
+// Package gstore is a fixture dependency for cross-package guardedby facts:
+// PutLocked exports a NeedsLock fact its importers are checked against.
+package gstore
+
+import "sync"
+
+// Store is a fixture shared map.
+type Store struct {
+	Mu   sync.Mutex
+	vals map[string]int //cadyvet:guardedby Mu
+}
+
+// PutLocked records a value; the caller holds s.Mu.
+//
+//cadyvet:locked s.Mu
+func (s *Store) PutLocked(k string, v int) {
+	s.vals[k] = v
+}
+
+// Put is the self-locking form.
+func (s *Store) Put(k string, v int) {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	s.PutLocked(k, v)
+}

@@ -1,0 +1,127 @@
+// Fixture for guardedby: annotated fields demand their mutex, tracked
+// flow-sensitively.
+package guardedby
+
+import (
+	"atomic"
+	"sync"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	n    int   //cadyvet:guardedby mu
+	hits int64 //cadyvet:guardedby mu
+	name string
+}
+
+func good(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func goodDeferred(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func unguardedOK(c *counter) string {
+	return c.name // not annotated
+}
+
+func badWrite(c *counter) {
+	c.n = 1 // want "access to c.n .guarded by mu. without holding c.mu"
+}
+
+func badRead(c *counter) int {
+	return c.n // want "access to c.n .guarded by mu. without holding c.mu"
+}
+
+func afterUnlock(c *counter) {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want "access to c.n .guarded by mu. without holding c.mu"
+}
+
+func branchMerge(c *counter, cond bool) {
+	if cond {
+		c.mu.Lock()
+	}
+	c.n = 3 // want "access to c.n .guarded by mu. without holding c.mu"
+	if cond {
+		c.mu.Unlock()
+	}
+}
+
+func earlyReturnOK(c *counter, cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return
+	}
+	c.n = 4
+	c.mu.Unlock()
+}
+
+// bumpLocked requires the caller to hold c.mu.
+//
+//cadyvet:locked c.mu
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func callsLockedGood(c *counter) {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+func callsLockedBad(c *counter) {
+	c.bumpLocked() // want "call to bumpLocked requires c.mu held .declared cadyvet:locked."
+}
+
+func leak(c *counter, cond bool) {
+	c.mu.Lock() // want "c.mu is locked here but not released on some return path"
+	if cond {
+		return
+	}
+	c.mu.Unlock()
+}
+
+func mixedAtomic(c *counter) {
+	atomic.AddInt64(&c.hits, 1) // want "field hits is guarded by mu but its address is passed to atomic.AddInt64"
+}
+
+func freshStmt() *counter {
+	c := &counter{}
+	c.n = 1 //cadyvet:unshared freshly allocated, not yet shared
+	return c
+}
+
+// freshFunc builds an unpublished value; no lock needed anywhere in it.
+//
+//cadyvet:unshared constructor owns the value exclusively until return
+func freshFunc() *counter {
+	c := &counter{}
+	c.n = 2
+	return c
+}
+
+func spawn(c *counter) {
+	c.mu.Lock()
+	go func() {
+		c.n = 9 // want "access to c.n .guarded by mu. without holding c.mu"
+	}()
+	c.mu.Unlock()
+}
+
+func litLocked(c *counter) {
+	c.mu.Lock()
+	f := func() { //cadyvet:locked c.mu
+		c.n = 4
+	}
+	f()
+	c.mu.Unlock()
+}

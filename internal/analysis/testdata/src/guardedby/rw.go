@@ -1,0 +1,26 @@
+package guardedby
+
+import "sync"
+
+type stats struct {
+	mu  sync.RWMutex
+	sum float64 //cadyvet:guardedby mu
+}
+
+func readShared(s *stats) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sum
+}
+
+func writeExclusive(s *stats, v float64) {
+	s.mu.Lock()
+	s.sum += v
+	s.mu.Unlock()
+}
+
+func writeUnderReadLock(s *stats) {
+	s.mu.RLock()
+	s.sum = 1 // want "write to s.sum .guarded by mu. while holding only the read lock s.mu"
+	s.mu.RUnlock()
+}

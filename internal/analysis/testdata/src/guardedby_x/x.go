@@ -1,0 +1,15 @@
+// Fixture for cross-package caller-holds-lock contracts: gstore.PutLocked
+// carries a NeedsLock fact.
+package guardedbyx
+
+import "gstore"
+
+func good(s *gstore.Store) {
+	s.Mu.Lock()
+	s.PutLocked("a", 1)
+	s.Mu.Unlock()
+}
+
+func bad(s *gstore.Store) {
+	s.PutLocked("a", 1) // want "call to PutLocked requires s.Mu held .declared cadyvet:locked."
+}

@@ -1,0 +1,15 @@
+// Package pump is a fixture dependency for cross-package goleak facts: Run
+// exports Waits=true, Spin does not.
+package pump
+
+// Run drains the channel until it closes.
+func Run(ch chan int) {
+	for range ch {
+	}
+}
+
+// Spin never checks a shutdown signal.
+func Spin() {
+	for {
+	}
+}

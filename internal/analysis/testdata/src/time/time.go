@@ -1,0 +1,23 @@
+// Package time is a fixture stand-in for the standard library's time: goleak
+// matches the timer-leak idioms by package name and function name.
+package time
+
+// Duration mirrors time.Duration.
+type Duration int64
+
+func After(d Duration) <-chan int { return nil }
+func Tick(d Duration) <-chan int  { return nil }
+func Sleep(d Duration)            {}
+
+// Timer mirrors time.Timer.
+type Timer struct{ C <-chan int }
+
+func NewTimer(d Duration) *Timer       { return nil }
+func (t *Timer) Stop() bool            { return true }
+func (t *Timer) Reset(d Duration) bool { return true }
+
+// Ticker mirrors time.Ticker.
+type Ticker struct{ C <-chan int }
+
+func NewTicker(d Duration) *Ticker { return nil }
+func (t *Ticker) Stop()            {}

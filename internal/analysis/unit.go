@@ -67,6 +67,12 @@ func Main() {
 			// No tool-specific flags.
 			fmt.Println("[]")
 			os.Exit(0)
+		case arg == "-list" || arg == "--list":
+			// Self-describing lint logs: print the enabled analyzers.
+			for _, az := range All() {
+				fmt.Printf("%-10s %s\n", az.Name, az.Doc)
+			}
+			os.Exit(0)
 		case arg == "help" || arg == "-h" || arg == "-help" || arg == "--help":
 			fmt.Fprintf(os.Stderr, "%s: static analysis suite for the cadycore module\n\n", progname)
 			fmt.Fprintf(os.Stderr, "usage: go vet -vettool=$(command -v %s) ./...\n\nAnalyzers:\n", progname)

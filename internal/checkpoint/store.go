@@ -1,3 +1,4 @@
+//cadyvet:persistence snapshot files are the crash-recovery source of truth; every durable write must go through the blessed temp+fsync+rename+dir-fsync helpers below
 package checkpoint
 
 import (
@@ -180,6 +181,8 @@ func parseSnapName(name string) (key string, step int, ok bool) {
 // old or the new file, never a torn or lost one.
 
 // WriteAtomic durably writes one snapshot file with the protocol above.
+//
+//cadyvet:blessed the snapshot commit helper: temp file in the destination dir, payload write, then commitTmp
 func WriteAtomic(path string, gl *Global) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -187,6 +190,7 @@ func WriteAtomic(path string, gl *Global) error {
 		return err
 	}
 	if err := gl.Write(f); err != nil {
+		//cadyvet:volatile error path: the payload write already failed and the tmp file is unlinked; nothing Close reports can rescue it
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -195,6 +199,8 @@ func WriteAtomic(path string, gl *Global) error {
 }
 
 // WriteFileAtomic durably replaces path with b (same protocol).
+//
+//cadyvet:blessed the byte-slice commit helper (fleet.json, meta.json, plan cache)
 func WriteFileAtomic(path string, b []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -202,6 +208,7 @@ func WriteFileAtomic(path string, b []byte) error {
 		return err
 	}
 	if _, err := f.Write(b); err != nil {
+		//cadyvet:volatile error path: the payload write already failed and the tmp file is unlinked; nothing Close reports can rescue it
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -210,6 +217,8 @@ func WriteFileAtomic(path string, b []byte) error {
 }
 
 // commitTmp finishes a durable write: fsync, close, rename, dir fsync.
+//
+//cadyvet:blessed the shared commit tail: fsync, close, rename over the target, parent-dir fsync
 func commitTmp(f *os.File, tmp, path string) error {
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -228,6 +237,8 @@ func commitTmp(f *os.File, tmp, path string) error {
 }
 
 // SyncDir fsyncs a directory so a just-renamed entry survives a power loss.
+//
+//cadyvet:blessed directory fsync making a just-renamed entry durable
 func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {

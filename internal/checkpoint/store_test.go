@@ -88,6 +88,7 @@ func TestDirStoreSkipsCorruptSnapshots(t *testing.T) {
 	}
 	// Plant a corrupt "newer" snapshot beside it (as a torn write would).
 	bad := filepath.Join(dir, "k@00000009.ck")
+	//cadyvet:volatile deliberately plants a torn, non-durable file to prove Latest falls back past it
 	if err := os.WriteFile(bad, []byte("torn"), 0o644); err != nil {
 		t.Fatalf("writing corrupt file: %v", err)
 	}

@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPlanDecode drives the chaos-plan JSON decoder with arbitrary bytes.
+// Parse must never panic; a plan it accepts must survive Validate without
+// panicking (for both the unknown-world and a concrete world size) and must
+// round-trip through encoding/json to an equivalent plan, so a plan file
+// rewritten by tooling keeps injecting the same faults.
+func FuzzPlanDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"crashes": [{"rank": 1, "step": 3}]}`))
+	f.Add([]byte(`{"stragglers": [{"rank": 0, "scale": 2.5}], "jitter": {"prob": 0.1, "max_delay": 0.02}}`))
+	f.Add([]byte(`{"send_errors": {"ranks": [0, 3], "prob": 0.5, "cost": 1e-4}}`))
+	f.Add([]byte(`{"crashes": [{"rank": -1, "step": 0}]}`))
+	f.Add([]byte(`{"unknown_field": true}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Validation must be total on anything Parse accepts.
+		_ = p.Validate(0)
+		_ = p.Validate(4)
+
+		// Round-trip: re-encode and re-parse, then compare the canonical
+		// encodings (Plan is plain data, so JSON equality is plan equality).
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshaling accepted plan: %v", err)
+		}
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parsing own encoding %s: %v", out, err)
+		}
+		out2, err := json.Marshal(p2)
+		if err != nil {
+			t.Fatalf("re-marshaling: %v", err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("plan does not round-trip:\n first %s\nsecond %s", out, out2)
+		}
+		if p.Empty() != p2.Empty() {
+			t.Fatalf("Empty() changed across round-trip")
+		}
+	})
+}

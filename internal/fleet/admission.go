@@ -28,6 +28,8 @@ type tenantQ struct {
 
 // tenant returns (creating on first use) the tenant's admission state.
 // Caller holds c.mu.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) tenant(name string) *tenantQ {
 	if name == "" {
 		name = "default"
@@ -55,6 +57,8 @@ func (c *Coordinator) tenant(name string) *tenantQ {
 // admitLocked charges n slots of the tenant's quota, rejecting the whole
 // batch if it does not fit (ensembles are admitted atomically). Caller
 // holds c.mu.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) admitLocked(tq *tenantQ, n int) error {
 	if tq.inflight+n > tq.quota {
 		tq.rejected += int64(n)
@@ -67,6 +71,8 @@ func (c *Coordinator) admitLocked(tq *tenantQ, n int) error {
 }
 
 // enqueueLocked appends a job to its tenant FIFO and kicks the dispatcher.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) enqueueLocked(j *job) {
 	tq := c.tenant(j.Tenant)
 	tq.fifo = append(tq.fifo, j)
@@ -75,6 +81,8 @@ func (c *Coordinator) enqueueLocked(j *job) {
 
 // requeueFrontLocked puts a job back at the head of its tenant FIFO (failed
 // dispatch, migration) without re-charging quota.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) requeueFrontLocked(j *job) {
 	j.State = fQueued
 	j.Backend = ""
@@ -86,6 +94,8 @@ func (c *Coordinator) requeueFrontLocked(j *job) {
 }
 
 // releaseLocked returns a terminal job's quota slot.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) releaseLocked(j *job) {
 	tq := c.tenant(j.Tenant)
 	if tq.inflight > 0 {
@@ -99,6 +109,8 @@ func (c *Coordinator) releaseLocked(j *job) {
 // back the total active weight. Under contention each tenant's dispatch
 // share converges to weight/Σweights, so a greedy low-priority tenant
 // cannot starve a high-priority one. Returns nil when nothing is queued.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) nextQueuedLocked() *job {
 	if c.paused {
 		return nil
@@ -131,6 +143,8 @@ func (c *Coordinator) nextQueuedLocked() *job {
 }
 
 // dropQueuedLocked removes a queued job from its tenant FIFO (cancel).
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) dropQueuedLocked(j *job) {
 	tq := c.tenant(j.Tenant)
 	for i, q := range tq.fifo {

@@ -273,6 +273,8 @@ func rendezvousScore(jobID, url string) uint64 {
 // backends that reported a full admission queue demoted behind all non-full
 // ones (the least-loaded tie-break — load information comes from the last
 // /metrics scrape). Caller holds c.mu.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) candidatesLocked(jobID string) []string {
 	type cand struct {
 		url   string
@@ -303,6 +305,8 @@ func (c *Coordinator) candidatesLocked(jobID string) []string {
 }
 
 // findBackendLocked returns the backend with the given URL.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) findBackendLocked(url string) *backend {
 	for _, b := range c.backends {
 		if b.url == url {

@@ -92,6 +92,11 @@ func (c *Coordinator) CancelJob(id string) error {
 
 func (c *Coordinator) dispatcher() {
 	defer c.wg.Done()
+	// One reused timer instead of a time.After per retry round: on a busy
+	// fleet the retry path is hot, and each time.After allocates a timer
+	// that lingers until it fires even after the select moved on.
+	retry := time.NewTimer(c.cfg.DispatchRetry)
+	defer retry.Stop()
 	for {
 		c.mu.Lock()
 		j := c.nextQueuedLocked()
@@ -100,11 +105,12 @@ func (c *Coordinator) dispatcher() {
 		}
 		c.mu.Unlock()
 		if j == nil {
+			retry.Reset(c.cfg.DispatchRetry)
 			select {
 			case <-c.ctx.Done():
 				return
 			case <-c.kick:
-			case <-time.After(c.cfg.DispatchRetry):
+			case <-retry.C:
 			}
 			continue
 		}
@@ -115,10 +121,11 @@ func (c *Coordinator) dispatcher() {
 				c.met.dispatchErrors++
 			}
 			c.mu.Unlock()
+			retry.Reset(c.cfg.DispatchRetry)
 			select {
 			case <-c.ctx.Done():
 				return
-			case <-time.After(c.cfg.DispatchRetry):
+			case <-retry.C:
 			}
 		}
 	}
@@ -171,6 +178,8 @@ func (c *Coordinator) dispatch(j *job) bool {
 // returning any follow-up persist need. Terminal backend states finalize
 // the fleet job; an interrupted backend copy (drain) re-queues it for
 // migration. Caller holds c.mu.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) applyRemoteLocked(j *job, st *server.JobStatus) (changed bool) {
 	if j.State != fRunning || st.ID != j.BackendID {
 		// Not dispatched anymore (migrated or finalized while the fetch was
@@ -211,6 +220,8 @@ func (c *Coordinator) applyRemoteLocked(j *job, st *server.JobStatus) (changed b
 
 // finalizeLocked moves a job to a terminal state and releases its quota
 // slot. Caller holds c.mu.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) finalizeLocked(j *job, st jstate, errMsg string) {
 	if j.State.terminal() {
 		return
@@ -233,6 +244,8 @@ func (c *Coordinator) finalizeLocked(j *job, st jstate, errMsg string) {
 // backend, charging its migration budget. The new backend resumes from the
 // newest shared-store checkpoint (or the initial state when the job never
 // reached one). Caller holds c.mu.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) migrateLocked(j *job, reason string) {
 	if j.State.terminal() {
 		return

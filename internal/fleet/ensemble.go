@@ -154,6 +154,8 @@ type EnsembleStatus struct {
 }
 
 // ensembleStatusLocked assembles the status view. Caller holds c.mu.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) ensembleStatusLocked(e *ensemble) EnsembleStatus {
 	st := EnsembleStatus{
 		ID: e.ID, Tenant: e.Tenant,

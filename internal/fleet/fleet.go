@@ -9,6 +9,8 @@
 // backend and resumes from the latest shared checkpoint via the proven
 // ResumeSetter path. On top of sharding it fans one JobSpec into K perturbed
 // ensemble members and aggregates their diagnostics.
+//
+//cadyvet:persistence fleet.json routing state survives coordinator restarts; durable writes route through checkpoint.WriteFileAtomic
 package fleet
 
 import (
@@ -53,9 +55,9 @@ type Config struct {
 	// FailThreshold consecutive probes (default 3) is declared dead and its
 	// jobs migrate; while failing, re-probes back off exponentially from
 	// ProbeInterval up to ProbeBackoffMax (default 4s).
-	ProbeInterval  time.Duration
-	ProbeTimeout   time.Duration
-	FailThreshold  int
+	ProbeInterval   time.Duration
+	ProbeTimeout    time.Duration
+	FailThreshold   int
 	ProbeBackoffMax time.Duration
 
 	// WatchInterval is the reconciliation cadence: how often the coordinator
@@ -183,18 +185,18 @@ type Coordinator struct {
 	wg     sync.WaitGroup
 
 	mu        sync.Mutex
-	backends  []*backend
-	jobs      map[string]*job
-	order     []string
-	ensembles map[string]*ensemble
-	eorder    []string
-	seq, eseq int
-	tenants   map[string]*tenantQ
-	met       fleetMetrics
+	backends  []*backend           //cadyvet:guardedby mu
+	jobs      map[string]*job      //cadyvet:guardedby mu
+	order     []string             //cadyvet:guardedby mu
+	ensembles map[string]*ensemble //cadyvet:guardedby mu
+	eorder    []string             //cadyvet:guardedby mu
+	seq, eseq int                  //cadyvet:guardedby mu
+	tenants   map[string]*tenantQ  //cadyvet:guardedby mu
+	met       fleetMetrics         //cadyvet:guardedby mu
 
 	// paused parks the dispatcher (test hook for deterministic queue
 	// build-up before any dispatch).
-	paused bool
+	paused bool //cadyvet:guardedby mu
 
 	kick chan struct{} // nudges the dispatcher when work arrives
 }
@@ -202,6 +204,9 @@ type Coordinator struct {
 // New builds the coordinator: opens the shared store, reloads fleet.json,
 // probes every backend once, reconciles recovered jobs against what the
 // backends report, and starts the dispatch/probe/watch loops.
+//
+//cadyvet:component
+//cadyvet:unshared construction: c is unreachable by any other goroutine until the loops start on the last lines
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	if cfg.StoreDir == "" {
@@ -245,6 +250,8 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.
 
 // Shutdown stops the coordinator loops and persists routing state. Backends
 // and their jobs are left untouched: a restarted coordinator reconciles.
+//
+//cadyvet:component
 func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.cancel()
 	done := make(chan struct{})

@@ -21,6 +21,7 @@ import (
 	"cadycore/internal/heldsuarez"
 	"cadycore/internal/server"
 	"cadycore/internal/state"
+	"cadycore/internal/testutil"
 )
 
 // testBackend is one in-process cadyserved: a server.Server behind a real
@@ -55,6 +56,10 @@ type fleetHarness struct {
 
 func newFleetHarness(t *testing.T, nBackends, workersEach, queueEach int, mut func(*Config)) *fleetHarness {
 	t.Helper()
+	// Leak check first: cleanups run in reverse order, so every backend
+	// and coordinator shutdown below completes before the goroutine
+	// snapshot is compared.
+	testutil.VerifyNoLeaks(t)
 	storeDir := t.TempDir()
 	h := &fleetHarness{storeDir: storeDir}
 	store, err := checkpoint.NewDirStore(storeDir)
@@ -681,6 +686,31 @@ func TestRendezvousStability(t *testing.T) {
 		if counts[u] < 50 {
 			t.Fatalf("backend %s got %d/300 jobs — rendezvous spread badly skewed: %v", u, counts[u], counts)
 		}
+	}
+}
+
+// TestDispatcherRetryTimer: the dispatcher must wake on its retry timer
+// alone — repeatedly, without any kick. Regression test for the reused
+// time.NewTimer in dispatcher(): a hoisted timer that is never Reset fires
+// once and then parks the dispatcher forever, so two back-to-back
+// kick-free rounds are required to pass.
+func TestDispatcherRetryTimer(t *testing.T) {
+	h := newFleetHarness(t, 1, 1, 4, nil)
+	spec := server.JobSpec{Alg: "yz", Nx: 16, Ny: 8, Nz: 4, PA: 1, PB: 1, M: 1, Steps: 1}
+	for round := 0; round < 2; round++ {
+		h.coord.mu.Lock()
+		h.coord.paused = true
+		h.coord.mu.Unlock()
+		resp := h.postJSON(t, "/jobs", spec, "acme")
+		id := decodeInfo(t, resp).ID
+		// Unpause without kickDispatch: only the retry timer can wake the
+		// dispatcher now (any kick from submission was consumed while the
+		// queue looked empty under pause).
+		time.Sleep(50 * time.Millisecond)
+		h.coord.mu.Lock()
+		h.coord.paused = false
+		h.coord.mu.Unlock()
+		h.waitJob(t, id, "completed", 30*time.Second)
 	}
 }
 

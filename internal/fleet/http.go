@@ -37,6 +37,8 @@ type JobInfo struct {
 }
 
 // jobInfoLocked snapshots one job. Caller holds c.mu.
+//
+//cadyvet:locked c.mu
 func (c *Coordinator) jobInfoLocked(j *job) JobInfo {
 	info := JobInfo{
 		ID:           j.ID,

@@ -14,6 +14,7 @@ import (
 
 	"cadycore/internal/checkpoint"
 	"cadycore/internal/fault"
+	"cadycore/internal/testutil"
 )
 
 // soakPlan crashes two ranks at different steps, slows one rank and adds
@@ -250,6 +251,7 @@ func TestChaosMetricsExposition(t *testing.T) {
 // the last complete checkpoint must be swept on startup and never loaded,
 // and the job must come back interrupted with the previous valid checkpoint.
 func TestRecoverIgnoresStaleTmp(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	dir := t.TempDir()
 	s, err := New(Config{Workers: 1, QueueCap: 4, Dir: dir})
 	if err != nil {
@@ -258,7 +260,10 @@ func TestRecoverIgnoresStaleTmp(t *testing.T) {
 	spec := smallSpec(4)
 	spec.CheckpointEvery = 2
 	s.testStep = func(j *Job, done int) {
-		if j.attempts == 1 && done == 2 {
+		j.mu.Lock()
+		attempt := j.attempts
+		j.mu.Unlock()
+		if attempt == 1 && done == 2 {
 			s.Cancel(j.ID)
 		}
 	}
@@ -280,13 +285,16 @@ func TestRecoverIgnoresStaleTmp(t *testing.T) {
 	// temp file that never reached their rename, and an on-disk state
 	// claiming the job was still running when the process died.
 	jdir := filepath.Join(dir, j.ID)
+	//cadyvet:volatile simulates the torn tmp a crash leaves behind; durability is exactly what is under test
 	if err := os.WriteFile(filepath.Join(jdir, "snap.ck.tmp"), []byte("torn checkpoint bytes"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	//cadyvet:volatile simulates the torn tmp a crash leaves behind; durability is exactly what is under test
 	if err := os.WriteFile(filepath.Join(jdir, "meta.json.tmp"), []byte(`{"state": "torn`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	meta, _ := json.Marshal(jobMeta{State: JRunning, StepsDone: 3, CkptStep: 2, Resumable: false, Attempts: 1})
+	//cadyvet:volatile forges the pre-crash on-disk state for recovery to chew on; it must not be durably committed
 	if err := os.WriteFile(filepath.Join(jdir, "meta.json"), meta, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -326,6 +334,7 @@ func TestRecoverIgnoresStaleTmp(t *testing.T) {
 // TestPersistErrorSurfaced: a durable-write failure lands in the job status
 // and the persist-error counter instead of vanishing.
 func TestPersistErrorSurfaced(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	dir := t.TempDir()
 	s, err := New(Config{Workers: 1, QueueCap: 4, Dir: dir})
 	if err != nil {

@@ -5,6 +5,8 @@
 // statistics, physical diagnostics and Prometheus-style metrics. It turns
 // the paper's evaluation — a matrix of (algorithm, process count) cells —
 // into schedulable, cancellable, resumable jobs.
+//
+//cadyvet:persistence job specs, progress metadata and checkpoints under Config.Dir are the restart source of truth; durable writes route through checkpoint's blessed helpers
 package server
 
 import (
@@ -377,40 +379,45 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 
-	mu        sync.Mutex
-	state     JState
-	stepsDone int // cumulative completed steps over all segments
-	ckptStep  int // boundary of the latest snapshot (0 = none)
-	snap      *checkpoint.Global
-	resumable bool
-	errMsg    string
+	mu    sync.Mutex
+	state JState //cadyvet:guardedby mu
+	// stepsDone counts cumulative completed steps over all segments;
+	// ckptStep is the boundary of the latest snapshot (0 = none).
+	stepsDone int                //cadyvet:guardedby mu
+	ckptStep  int                //cadyvet:guardedby mu
+	snap      *checkpoint.Global //cadyvet:guardedby mu
+	resumable bool               //cadyvet:guardedby mu
+	errMsg    string             //cadyvet:guardedby mu
 
-	cancel          context.CancelFunc // set while running
-	cancelRequested bool
+	// cancel is set while running.
+	cancel          context.CancelFunc //cadyvet:guardedby mu
+	cancelRequested bool               //cadyvet:guardedby mu
 
-	submitted  time.Time
-	started    time.Time
-	finished   time.Time
-	attempts   int
-	restarts   int         // automatic restarts consumed (fault recovery)
-	retryTimer *time.Timer // pending backoff timer while JRetrying
+	submitted time.Time //cadyvet:guardedby mu
+	started   time.Time //cadyvet:guardedby mu
+	finished  time.Time //cadyvet:guardedby mu
+	attempts  int       //cadyvet:guardedby mu
+	// restarts counts automatic restarts consumed (fault recovery);
+	// retryTimer is the pending backoff timer while JRetrying.
+	restarts   int         //cadyvet:guardedby mu
+	retryTimer *time.Timer //cadyvet:guardedby mu
 
 	// persistErr surfaces the latest persistence failure in the job status
 	// (durable writes are no longer fire-and-forget); cleared by the next
 	// successful write.
-	persistErr string
+	persistErr string //cadyvet:guardedby mu
 
-	agg     comm.Aggregate
-	count   dycore.Counters
-	diags   map[string]float64
-	figures []string // formatted figure tables (figures jobs)
+	agg     comm.Aggregate     //cadyvet:guardedby mu
+	count   dycore.Counters    //cadyvet:guardedby mu
+	diags   map[string]float64 //cadyvet:guardedby mu
+	figures []string           //cadyvet:guardedby mu
 
 	// plan is the autotuner's decision for auto-layout jobs (set when the
 	// first execution segment plans, reused by resumes).
-	plan *tune.Plan
+	plan *tune.Plan //cadyvet:guardedby mu
 	// chaos is the job's fault injector, built lazily from the server's
 	// chaos plan so crash budgets span automatic restarts.
-	chaos *fault.Injector
+	chaos *fault.Injector //cadyvet:guardedby mu
 }
 
 // ensureChaos returns the job's fault injector, building it from plan on

@@ -38,9 +38,9 @@ type metrics struct {
 	// communication-overlap accounting, accumulated from every run
 	// segment's critical-path statistics (guarded by exchMu).
 	exchMu     sync.Mutex
-	exposedSec float64
-	hiddenSec  float64
-	exch       map[string]*exchTotals
+	exposedSec float64                //cadyvet:guardedby exchMu
+	hiddenSec  float64                //cadyvet:guardedby exchMu
+	exch       map[string]*exchTotals //cadyvet:guardedby exchMu
 }
 
 // exchTotals accumulates one exchanger label's overlap accounting across

@@ -128,12 +128,14 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // insertion order for listing
-	seq    int
+	mu    sync.Mutex
+	jobs  map[string]*Job //cadyvet:guardedby mu
+	order []string        //cadyvet:guardedby mu
+	seq   int             //cadyvet:guardedby mu
+	// queue itself is not guarded (channel operations synchronize); only the
+	// send-vs-close race is, which is why sends happen under mu with closed.
 	queue  chan *Job
-	closed bool
+	closed bool //cadyvet:guardedby mu
 
 	wg sync.WaitGroup
 
@@ -148,6 +150,8 @@ type Server struct {
 
 // New builds the service, recovers any persisted jobs from cfg.Dir and
 // starts the worker pool.
+//
+//cadyvet:component
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
@@ -367,6 +371,8 @@ func (s *Server) Resume(id string) (*Job, error) {
 // jobs are stopped at their next step boundary and checkpointed (state
 // "interrupted", resumable), still-queued jobs stay "queued" with their
 // specs persisted. It returns when the workers have exited or ctx expires.
+//
+//cadyvet:component
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
@@ -792,6 +798,8 @@ func (s *Server) jobDir(j *Job) string { return filepath.Join(s.cfg.Dir, j.ID) }
 
 // notePersist records the outcome of a durable write on the job (which must
 // be locked) and in the service metrics.
+//
+//cadyvet:locked j.mu
 func (s *Server) notePersist(j *Job, err error) {
 	if err != nil {
 		j.persistErr = err.Error()
@@ -824,6 +832,7 @@ func (s *Server) persistMeta(j *Job) {
 	s.persistMetaLocked(j)
 }
 
+//cadyvet:locked j.mu
 func (s *Server) persistMetaLocked(j *Job) {
 	if s.cfg.Dir == "" {
 		return
@@ -855,6 +864,7 @@ func (s *Server) persistSnap(j *Job, gl *checkpoint.Global) {
 	s.persistMetaLocked(j)
 }
 
+//cadyvet:locked j.mu
 func (s *Server) persistSnapLocked(j *Job, gl *checkpoint.Global) {
 	if s.cfg.Dir == "" {
 		return
@@ -879,6 +889,8 @@ func (s *Server) shareSnap(j *Job, step int, gl *checkpoint.Global) {
 }
 
 // shareSnapLocked is shareSnap for callers already holding the job lock.
+//
+//cadyvet:locked j.mu
 func (s *Server) shareSnapLocked(j *Job, step int, gl *checkpoint.Global) {
 	if s.shared == nil || j.Spec.SharedKey == "" {
 		return
@@ -908,6 +920,8 @@ func writeFileAtomic(path string, b []byte) error {
 // running or interrupted when the previous process died come back as
 // resumable "interrupted" jobs; completed and terminal jobs keep their
 // state. The latest checkpoint, when present and valid, is reloaded.
+//
+//cadyvet:unshared recovery runs from New before the worker pool or any handler exists; s and every recovered Job are still private to the constructor
 func (s *Server) recover() error {
 	entries, err := os.ReadDir(s.cfg.Dir)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"cadycore/internal/grid"
 	"cadycore/internal/heldsuarez"
 	"cadycore/internal/state"
+	"cadycore/internal/testutil"
 )
 
 // smallSpec is a fast baseline-YZ run job (baseline restarts are
@@ -29,6 +30,9 @@ func smallSpec(steps int) JobSpec {
 
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
+	// Leak check first: cleanups run in reverse order, so the Shutdown
+	// below finishes before the goroutine snapshot is compared.
+	testutil.VerifyNoLeaks(t)
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -209,7 +213,12 @@ func TestSubmitValidation(t *testing.T) {
 			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
 		}
 	}
-	if resp, _ := http.Get(ts.URL + "/jobs/nope"); resp.StatusCode != http.StatusNotFound {
+	resp, err := http.Get(ts.URL + "/jobs/nope")
+	if err != nil {
+		t.Fatalf("GET missing job: %v", err)
+	}
+	resp.Body.Close() // an unclosed body pins the transport's conn goroutines
+	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("GET missing job: %d, want 404", resp.StatusCode)
 	}
 }
@@ -269,7 +278,10 @@ func TestCancelResumeEquivalence(t *testing.T) {
 	// quiesced step barrier (deterministic: the stop decision is sampled
 	// right after this hook at the same boundary).
 	s.testStep = func(j *Job, done int) {
-		if j.attempts == 1 && done == 2 {
+		j.mu.Lock()
+		attempt := j.attempts
+		j.mu.Unlock()
+		if attempt == 1 && done == 2 {
 			s.Cancel(j.ID)
 		}
 	}
@@ -312,6 +324,7 @@ func TestCancelResumeEquivalence(t *testing.T) {
 // queued, both are persisted, and a fresh server over the same directory
 // recovers and finishes them.
 func TestGracefulDrain(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	dir := t.TempDir()
 	s, err := New(Config{Workers: 1, QueueCap: 4, Dir: dir})
 	if err != nil {

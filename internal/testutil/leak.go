@@ -1,0 +1,137 @@
+// Package testutil holds small helpers shared by the module's test suites.
+// It is imported only from _test.go files and must stay stdlib-only.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the goroutines alive when called and registers a
+// cleanup that fails the test if goroutines started afterwards are still
+// alive when the test ends. Shutdown is asynchronous almost everywhere
+// (worker pools drain, probe loops notice a closed channel), so the cleanup
+// polls the live set for a grace period before declaring a leak rather than
+// failing on the first look.
+//
+// Call it first thing in a test, before the component under test starts:
+//
+//	func TestHeavy(t *testing.T) {
+//		testutil.VerifyNoLeaks(t)
+//		...
+//	}
+//
+// Cleanups run in reverse order, so the component's own t.Cleanup shutdown
+// hooks run before the leak check.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := liveGoroutines()
+	t.Cleanup(func() {
+		const grace = 5 * time.Second
+		deadline := time.Now().Add(grace)
+		var leaked []goroutine
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d goroutine(s) started by the test still alive %v after it ended:", len(leaked), grace)
+		for _, g := range leaked {
+			fmt.Fprintf(&b, "\n\ngoroutine %d [%s]:\n%s", g.id, g.state, g.stack)
+		}
+		t.Error(b.String())
+	})
+}
+
+// goroutine is one parsed entry of a full runtime.Stack dump.
+type goroutine struct {
+	id    int
+	state string
+	stack string
+}
+
+// leakedSince returns the goroutines alive now that were not alive at the
+// snapshot and are not benign runtime/testing machinery.
+func leakedSince(before map[int]bool) []goroutine {
+	var leaked []goroutine
+	for _, g := range parseStacks() {
+		if before[g.id] || benign(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i].id < leaked[j].id })
+	return leaked
+}
+
+// benign reports goroutines that belong to the runtime or the testing
+// harness rather than to the code under test.
+func benign(g goroutine) bool {
+	for _, frame := range []string{
+		"testing.(*T).Run",            // parent test blocked on a subtest
+		"testing.(*F).Fuzz",           // fuzz driver
+		"testing.runFuzzing",          // fuzz worker coordination
+		"testing.tRunner.func1",       // cleanup in flight
+		"runtime.gc",                  // background collector
+		"runtime.bgsweep",             // background sweeper
+		"runtime.bgscavenge",          // background scavenger
+		"runtime.forcegchelper",       // periodic GC helper
+		"os/signal.signal_recv",       // signal dispatch (signal.Notify in main)
+		"runtime/pprof.profileWriter", // -cpuprofile writer
+	} {
+		if strings.Contains(g.stack, frame) {
+			return true
+		}
+	}
+	return false
+}
+
+func liveGoroutines() map[int]bool {
+	ids := make(map[int]bool)
+	for _, g := range parseStacks() {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+// parseStacks splits a full runtime.Stack dump into per-goroutine records.
+// Headers look like "goroutine 7 [chan receive]:".
+func parseStacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var gs []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		header, rest, ok := strings.Cut(block, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		fields := strings.SplitN(strings.TrimPrefix(header, "goroutine "), " ", 2)
+		var id int
+		if _, err := fmt.Sscanf(fields[0], "%d", &id); err != nil {
+			continue
+		}
+		state := ""
+		if len(fields) == 2 {
+			state = strings.Trim(fields[1], "[]:")
+		}
+		gs = append(gs, goroutine{id: id, state: state, stack: rest})
+	}
+	return gs
+}

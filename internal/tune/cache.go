@@ -1,3 +1,4 @@
+//cadyvet:persistence profile files and the plan cache survive restarts; writes go through the blessed writeFileAtomic helper
 package tune
 
 import (

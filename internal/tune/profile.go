@@ -156,6 +156,8 @@ func DefaultProfile() Profile {
 // plus fsync + rename + parent-dir fsync, so concurrent readers never
 // observe a partial file and a crash at any point leaves either the old or
 // the new content — never a torn or lost file.
+//
+//cadyvet:blessed the package's one commit helper: CreateTemp in the destination dir, fsync, rename, parent-dir fsync
 func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {

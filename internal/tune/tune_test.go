@@ -59,6 +59,7 @@ func TestLoadProfileRejectsVersionMismatch(t *testing.T) {
 	p.Version = ProfileVersion + 1
 	data := []byte(`{"version": 999, "alpha": 1e-5, "beta": 1e-10, "overhead": 1e-6, "compute_rate": 1e8,
 		"kernels": {"adapt": 1, "advect": 1, "smooth": 1, "csum": 1, "filter_row": 1}}`)
+	//cadyvet:volatile hand-writes an invalid profile for LoadProfile to reject; it never needs to survive a crash
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
