@@ -24,8 +24,10 @@ import (
 	"testing"
 	"time"
 
+	"cadycore/internal/balance"
 	"cadycore/internal/comm"
 	"cadycore/internal/dycore"
+	"cadycore/internal/fault"
 	"cadycore/internal/fft"
 	"cadycore/internal/field"
 	"cadycore/internal/filter"
@@ -34,6 +36,7 @@ import (
 	"cadycore/internal/heldsuarez"
 	"cadycore/internal/operators"
 	"cadycore/internal/state"
+	"cadycore/internal/tune"
 )
 
 // result is one benchmark row of the JSON report.
@@ -50,6 +53,9 @@ type result struct {
 	// multi-rank step rows: the share of communication the critical-path
 	// ranks covered with interior compute.
 	OverlapFraction float64 `json:"overlap_fraction,omitempty"`
+	// CompImbalance is the max/min per-rank simulated compute ratio of the
+	// multi-rank step rows (1 = perfectly balanced; 0 = single rank).
+	CompImbalance float64 `json:"comp_imbalance,omitempty"`
 	// Exchangers carries the per-exchanger Begin/Finish and hidden/exposed
 	// accounting of the multi-rank step rows.
 	Exchangers []exchRow `json:"exchangers,omitempty"`
@@ -104,6 +110,7 @@ func stepParallel(name string, alg dycore.Algorithm, g *grid.Grid, procs, steps 
 		N:               steps,
 		SimNsPerStep:    res.Agg.SimTime * 1e9 / float64(steps),
 		OverlapFraction: res.Agg.OverlapFraction(),
+		CompImbalance:   res.Agg.CompImbalance(),
 	}
 	for _, ex := range res.Exch {
 		row.Exchangers = append(row.Exchangers, exchRow{
@@ -136,6 +143,92 @@ func compareOverlap(g *grid.Grid, procs, steps int) {
 	}
 }
 
+// rebalRow is one row of the -rebalance report: a full 24-step simulation of
+// the same configuration under different fault/runtime conditions.
+type rebalRow struct {
+	Name string `json:"name"`
+	// SimTimeS is the end-to-end simulated seconds (for the rebalanced row:
+	// including the modeled migration cost).
+	SimTimeS      float64 `json:"sim_time_s"`
+	CompImbalance float64 `json:"comp_imbalance"`
+	Migrations    int     `json:"migrations,omitempty"`
+}
+
+// compareRebalance runs the straggler scenario of the live-rebalancing soak
+// (48x24x8 Y-Z mesh on 4 ranks, rank 3 slowed 10x) three ways — no fault,
+// static layout under the straggler, and live-rebalanced under the straggler
+// — and writes the comparison to `out`.
+func compareRebalance(out string) {
+	g := grid.New(48, 24, 8)
+	cfg := dycore.DefaultConfig()
+	cfg.M = 2
+	cfg.Dt1, cfg.Dt2 = 40, 240
+	set := dycore.Setup{Alg: dycore.AlgBaselineYZ, PA: 4, PB: 1, Cfg: cfg}
+	const steps = 24
+	hs := heldsuarez.Standard()
+	hook := func(g *grid.Grid, st *state.State, step int) { hs.Apply(g, st, cfg.Dt2) }
+	plan := fault.Plan{Seed: 1, Stragglers: []fault.Straggler{{Rank: 3, Scale: 10}}}
+	pol := balance.Policy{Window: 4, Patience: 1, Cooldown: 1}
+
+	row := func(name string, inject bool) rebalRow {
+		opts := dycore.RunOpts{Hook: hook}
+		if inject {
+			opts.Faults = fault.New(plan).CommFaults(set.Procs())
+		}
+		res, _ := dycore.RunWithOpts(set, g, comm.TianheLike(), heldsuarez.InitialState, steps, opts)
+		return rebalRow{Name: name, SimTimeS: res.Agg.SimTime, CompImbalance: res.Agg.CompImbalance()}
+	}
+	rows := []rebalRow{row("baseline_no_fault", false), row("static_straggler", true)}
+
+	cand, err := balance.CandidateOf(set)
+	if err == nil {
+		var ctl *balance.Controller
+		if ctl, err = balance.NewController(pol, g, cfg, tune.DefaultProfile(), steps, cand); err == nil {
+			var o balance.Outcome
+			if o, err = balance.Run(ctl, g, comm.TianheLike(), heldsuarez.InitialState, steps, hook, fault.New(plan), 3); err == nil {
+				rows = append(rows, rebalRow{
+					Name: "rebalanced_straggler", SimTimeS: o.SimTime,
+					CompImbalance: o.Agg.CompImbalance(), Migrations: len(o.Migrations),
+				})
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rebalance:", err)
+		os.Exit(1)
+	}
+
+	for _, r := range rows {
+		fmt.Printf("%-24s sim %.4f s  comp imbalance %.3f  migrations %d\n",
+			r.Name, r.SimTimeS, r.CompImbalance, r.Migrations)
+	}
+	speedup := rows[1].SimTimeS / rows[2].SimTimeS
+	fmt.Printf("rebalanced is %.1f%% faster than the static layout under the straggler\n",
+		100*(1-rows[2].SimTimeS/rows[1].SimTimeS))
+
+	report := map[string]interface{}{
+		"mesh":                  map[string]int{"nx": g.Nx, "ny": g.Ny, "nz": g.Nz},
+		"procs":                 set.Procs(),
+		"steps":                 steps,
+		"straggler":             map[string]float64{"rank": 3, "scale": 10},
+		"policy":                pol,
+		"results":               rows,
+		"speedup_vs_static":     speedup,
+		"rebalanced_faster_pct": 100 * (1 - rows[2].SimTimeS/rows[1].SimTimeS),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", out)
+}
+
 func benchState(g *grid.Grid) (*state.State, field.Block) {
 	b := field.Block{
 		Nx: g.Nx, Ny: g.Ny, Nz: g.Nz,
@@ -157,11 +250,21 @@ func main() {
 	steps := flag.Int("steps", 2, "steps per multi-rank step row")
 	compare := flag.Bool("compare", false,
 		"compare overlapped vs quiesced LogP step time on the figure-6/7/8 mesh and exit")
+	rebal := flag.Bool("rebalance", false,
+		"compare static vs live-rebalanced layout under a seeded straggler, write BENCH_rebalance.json and exit")
 	flag.Parse()
 
 	g := grid.New(*nx, *ny, *nz)
 	if *compare {
 		compareOverlap(g, *procs, *steps)
+		return
+	}
+	if *rebal {
+		o := *out
+		if o == "BENCH_kernels.json" {
+			o = "BENCH_rebalance.json"
+		}
+		compareRebalance(o)
 		return
 	}
 	var results []result

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"cadycore/internal/balance"
 	"cadycore/internal/checkpoint"
 	"cadycore/internal/comm"
 	"cadycore/internal/diag"
@@ -64,7 +65,8 @@ func main() {
 	loadFile := flag.String("load", "", "initialize from a restart checkpoint instead of the H-S initial state")
 	auto := flag.Bool("auto", false, "let the autotuner choose algorithm, process grid and row partition")
 	procs := flag.Int("procs", 0, "rank budget for -auto (default pa*pb)")
-	profilePath := flag.String("profile", "", "machine profile for -auto (default: analytic Tianhe-like profile)")
+	profilePath := flag.String("profile", "", "machine profile for -auto/-rebalance (default: analytic Tianhe-like profile)")
+	rebalance := flag.Bool("rebalance", false, "live load rebalancing: watch per-rank compute, re-plan and migrate mid-run")
 	chaosPath := flag.String("chaos", "", "fault-injection plan (JSON); crashed runs restart from the latest checkpoint")
 	maxRestarts := flag.Int("max-restarts", 3, "restarts after an injected rank crash (use -save -save-every to keep progress)")
 	flag.Parse()
@@ -77,6 +79,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-save-every requires -save")
 		os.Exit(2)
 	}
+	if *rebalance && (*timeline || *saveEvery > 0) {
+		fmt.Fprintln(os.Stderr, "-rebalance is incompatible with -timeline and -save-every")
+		os.Exit(2)
+	}
 
 	cfg := dycore.DefaultConfig()
 	cfg.M = *m
@@ -85,19 +91,19 @@ func main() {
 	cfg.ShiftedPoleMirror = *shiftPoles
 
 	g := grid.New(*nx, *ny, *nz)
+	prof := tune.DefaultProfile()
+	if *profilePath != "" {
+		var err error
+		if prof, err = tune.LoadProfile(*profilePath); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+	}
 	var set dycore.Setup
 	if *auto {
 		budget := *procs
 		if budget == 0 {
 			budget = *pa * *pb
-		}
-		prof := tune.DefaultProfile()
-		if *profilePath != "" {
-			var err error
-			if prof, err = tune.LoadProfile(*profilePath); err != nil {
-				fmt.Fprintln(os.Stderr, "profile:", err)
-				os.Exit(1)
-			}
 		}
 		planner := &tune.Planner{Profile: prof}
 		plan, err := planner.Plan(g, budget, cfg)
@@ -163,6 +169,41 @@ func main() {
 		inj = fault.New(plan)
 	}
 
+	var res dycore.RunResult
+	var rec *comm.Recorder
+	if *rebalance {
+		cand, err := balance.CandidateOf(set)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rebalance:", err)
+			os.Exit(1)
+		}
+		ctl, err := balance.NewController(balance.Policy{}, g, cfg, prof, *steps, cand)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rebalance:", err)
+			os.Exit(1)
+		}
+		out, err := balance.Run(ctl, g, comm.TianheLike(), init, *steps, hook, inj, *maxRestarts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rebalance:", err)
+			os.Exit(1)
+		}
+		if len(out.Migrations) == 0 {
+			fmt.Println("rebalance: no migration needed")
+		}
+		for _, mg := range out.Migrations {
+			fmt.Printf("rebalance: step %d migrated %s -> %s (predicted gain %.4g s, cost %.4g s)\n",
+				mg.Step, mg.From, mg.To, mg.PredictedGain, mg.Cost)
+		}
+		set = out.Setup
+		res.Agg = out.Agg
+		res.Agg.SimTime = out.SimTime // include the modeled migration cost
+		res.Count = out.Count
+		res.Finals = out.Finals
+		res.StepsDone = out.StepsDone
+		finishRun(g, *saveFile, res, rec)
+		return
+	}
+
 	// lastSnap/lastStep track the newest checkpoint in memory so an injected
 	// crash can restart from it (the file written by -save-every is its
 	// durable twin).
@@ -171,8 +212,6 @@ func main() {
 	segBase := 0
 	segInit := init
 	segResume := *loadFile != "" // checkpoint states owe deferred smoothing
-	var res dycore.RunResult
-	var rec *comm.Recorder
 	for attempt := 0; ; attempt++ {
 		base := segBase
 		opts := dycore.RunOpts{Hook: hook, Traced: *timeline, Resume: segResume}
@@ -217,12 +256,19 @@ func main() {
 		fmt.Printf("chaos: restarting from step %d (restart %d/%d)\n", segBase, attempt+1, *maxRestarts)
 	}
 
-	if *saveFile != "" {
-		if err := writeCheckpoint(*saveFile, checkpoint.Gather(g, res.Finals)); err != nil {
+	finishRun(g, *saveFile, res, rec)
+}
+
+// finishRun writes the final checkpoint and prints the counter,
+// communication, timeline and diagnostic reports shared by the plain and
+// -rebalance run paths.
+func finishRun(g *grid.Grid, saveFile string, res dycore.RunResult, rec *comm.Recorder) {
+	if saveFile != "" {
+		if err := writeCheckpoint(saveFile, checkpoint.Gather(g, res.Finals)); err != nil {
 			fmt.Fprintln(os.Stderr, "save:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("checkpoint written to %s\n", *saveFile)
+		fmt.Printf("checkpoint written to %s\n", saveFile)
 	}
 
 	fmt.Printf("\n-- algorithm counters (rank 0) --\n")

@@ -1,0 +1,130 @@
+package balance
+
+import (
+	"fmt"
+
+	"cadycore/internal/checkpoint"
+	"cadycore/internal/comm"
+	"cadycore/internal/dycore"
+	"cadycore/internal/fault"
+	"cadycore/internal/grid"
+	"cadycore/internal/state"
+	"cadycore/internal/tune"
+)
+
+// Outcome is the result of a rebalanced run: the merged statistics of every
+// segment, the final states under the final layout, and the migration log.
+type Outcome struct {
+	// Agg is the merged communication aggregate over all segments (costs
+	// summed, per-rank series summed when the rank count was stable).
+	Agg comm.Aggregate
+	// Count sums the operation counters over all segments.
+	Count dycore.Counters
+	// Finals are the per-rank final states under Setup's layout.
+	Finals []*state.State
+	// StepsDone is the total completed steps over all segments.
+	StepsDone int
+	// SimTime is the end-to-end simulated seconds: per-segment critical-path
+	// time plus the modeled cost of every migration.
+	SimTime float64
+	// Migrations is the controller's executed-migration log.
+	Migrations []Migration
+	// Setup is the layout the run finished in.
+	Setup dycore.Setup
+}
+
+// Run drives a run of `steps` steps under the controller's supervision: it
+// executes segments in the controller's current layout, and whenever the
+// controller quiesces the run mid-flight it restores the stop snapshot into
+// the re-planned decomposition and continues. An optional fault injector
+// supplies stragglers and crashes; crashed segments restart from the latest
+// snapshot, up to maxRestarts times.
+func Run(ctl *Controller, g *grid.Grid, model comm.NetModel, init dycore.InitFunc,
+	steps int, hook dycore.StepHook, inj *fault.Injector, maxRestarts int) (Outcome, error) {
+	var out Outcome
+	var (
+		segBase   int
+		segInit   = init
+		segResume bool
+		restarts  int
+		lastSnap  *checkpoint.Global
+		lastStep  int
+	)
+	for {
+		set := ctl.Setup()
+		remaining := steps - segBase
+		var snap *checkpoint.Global
+		snapStep := -1
+		opts := dycore.RunOpts{
+			Hook:      hook,
+			Resume:    segResume,
+			Rebalance: ctl.Hook(segBase),
+			Snapshot: func(done int, sts []*state.State) {
+				snap = checkpoint.Gather(g, sts)
+				snapStep = segBase + done
+			},
+		}
+		if inj != nil {
+			opts.Faults = inj.CommFaults(set.Procs())
+			opts.CrashAt = inj.CrashFunc(segBase)
+		}
+		res, _ := dycore.RunWithOpts(set, g, model, segInit, remaining, opts)
+
+		out.Agg = comm.MergeAggregate(out.Agg, res.Agg)
+		out.SimTime += res.Agg.SimTime
+		addCounters(&out.Count, res.Count)
+
+		if res.Abort != nil {
+			// Injected crash: restart the segment from the latest snapshot
+			// (or from scratch when none was taken yet).
+			if restarts >= maxRestarts {
+				return out, fmt.Errorf("balance: restart budget (%d) exhausted after %v", maxRestarts, res.Abort)
+			}
+			restarts++
+			if snap == nil {
+				snap, snapStep = lastSnap, lastStep
+			}
+			if snap != nil {
+				segBase = snapStep
+				segInit = snap.InitFunc()
+				segResume = true
+				lastSnap, lastStep = snap, snapStep
+			}
+			continue
+		}
+
+		done := segBase + res.StepsDone
+		if done >= steps {
+			out.Finals = res.Finals
+			out.StepsDone = done
+			out.Migrations = ctl.Migrations()
+			out.Setup = set
+			return out, nil
+		}
+
+		// Early stop: the only stopper we installed is the rebalance hook,
+		// so a staged re-plan must be waiting and the stop snapshot must
+		// cover exactly this boundary.
+		plan, _ := ctl.TakePending()
+		if plan == nil {
+			return out, fmt.Errorf("balance: run stopped at step %d with no pending re-plan", done)
+		}
+		if snap == nil || snapStep != done {
+			return out, fmt.Errorf("balance: no quiesce snapshot at migration boundary %d", done)
+		}
+		out.SimTime += tune.MigrationCost(g, set.Procs(), ctl.Profile())
+		lastSnap, lastStep = snap, snapStep
+		segBase = done
+		segInit = snap.InitFunc()
+		segResume = true
+	}
+}
+
+// addCounters accumulates b into a.
+func addCounters(a *dycore.Counters, b dycore.Counters) {
+	a.Steps += b.Steps
+	a.HaloExchanges += b.HaloExchanges
+	a.CEvaluations += b.CEvaluations
+	a.FilterCalls += b.FilterCalls
+	a.SmoothingCalls += b.SmoothingCalls
+}

@@ -168,6 +168,12 @@ func (c *Comm) Compute(work float64) {
 // Clock returns the rank's current simulated time.
 func (c *Comm) Clock() float64 { return c.stats.Clock }
 
+// CompTime returns the rank's accumulated simulated compute seconds (Compute
+// calls since the last ResetStats). Unlike Clock it excludes communication
+// stalls, so comparing it across ranks isolates compute imbalance — the
+// signal a straggler leaves even when collectives keep the clocks in step.
+func (c *Comm) CompTime() float64 { return c.stats.CompTime }
+
 // Stats returns a snapshot of this rank's statistics.
 func (c *Comm) Stats() Stats { return c.stats.snapshot() }
 

@@ -146,6 +146,12 @@ type Aggregate struct {
 	HiddenTimeMax [numCategories]float64
 	CompTimeMax   float64
 	SimTime       float64
+	// RankClock and RankComp are the per-rank simulated clock and compute
+	// seconds in rank order — the telemetry the load-rebalancing runtime
+	// consumes. Under a straggler the clocks stay nearly uniform (peers
+	// stall at collectives), so RankComp is the imbalance observable.
+	RankClock []float64
+	RankComp  []float64
 }
 
 // CommTime returns the critical-path communication time for a category.
@@ -217,10 +223,99 @@ func (a Aggregate) FilterOps() int64 { return a.CollByCat[CatCollectiveX] }
 // ExchangeMsgs returns the number of stencil halo-exchange messages sent.
 func (a Aggregate) ExchangeMsgs() int64 { return a.MsgsByCat[CatStencil] }
 
+// MaxRankComp returns the largest per-rank compute time, 0 when the per-rank
+// telemetry is absent.
+func (a Aggregate) MaxRankComp() float64 {
+	m := 0.0
+	for _, v := range a.RankComp {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MinRankComp returns the smallest per-rank compute time, 0 when the
+// per-rank telemetry is absent.
+func (a Aggregate) MinRankComp() float64 {
+	if len(a.RankComp) == 0 {
+		return 0
+	}
+	m := a.RankComp[0]
+	for _, v := range a.RankComp[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CompImbalance returns the max/min ratio of per-rank compute time — 1 for a
+// perfectly balanced run, 0 when the telemetry is absent or degenerate.
+func (a Aggregate) CompImbalance() float64 {
+	min := a.MinRankComp()
+	if min <= 0 {
+		return 0
+	}
+	return a.MaxRankComp() / min
+}
+
+// MergeAggregate folds a later execution segment b into the cumulative a:
+// counters and times sum (segments run back to back), Ranks follows the
+// latest segment. Per-rank telemetry sums elementwise when both segments ran
+// the same rank count; a rank-count change (a migration to a different
+// factorization) restarts it from the new segment.
+func MergeAggregate(a, b Aggregate) Aggregate {
+	if a.Ranks == 0 {
+		return b
+	}
+	out := a
+	out.Ranks = b.Ranks
+	out.BytesSent += b.BytesSent
+	out.MsgsSent += b.MsgsSent
+	out.Collectives += b.Collectives
+	for i := range out.BytesByCat {
+		out.BytesByCat[i] += b.BytesByCat[i]
+		out.MsgsByCat[i] += b.MsgsByCat[i]
+		out.CollByCat[i] += b.CollByCat[i]
+		out.CommTimeMax[i] += b.CommTimeMax[i]
+		out.HiddenTimeMax[i] += b.HiddenTimeMax[i]
+	}
+	out.CompTimeMax += b.CompTimeMax
+	out.SimTime += b.SimTime
+	out.RankClock = mergeRankSeries(a.RankClock, b.RankClock)
+	out.RankComp = mergeRankSeries(a.RankComp, b.RankComp)
+	return out
+}
+
+// mergeRankSeries sums two per-rank series elementwise; mismatched lengths
+// (a migration changed the rank count) keep only the newer one.
+func mergeRankSeries(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		if b == nil {
+			return a
+		}
+		out := make([]float64, len(b))
+		copy(out, b)
+		return out
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
 func aggregate(comms []*Comm) Aggregate {
-	a := Aggregate{Ranks: len(comms)}
-	for _, c := range comms {
+	a := Aggregate{
+		Ranks:     len(comms),
+		RankClock: make([]float64, len(comms)),
+		RankComp:  make([]float64, len(comms)),
+	}
+	for r, c := range comms {
 		s := c.stats
+		a.RankClock[r] = s.Clock
+		a.RankComp[r] = s.CompTime
 		a.BytesSent += s.BytesSent
 		a.MsgsSent += s.MsgsSent
 		a.Collectives += s.Collectives

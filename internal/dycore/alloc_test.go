@@ -1,6 +1,7 @@
 package dycore
 
 import (
+	"reflect"
 	"testing"
 
 	"cadycore/internal/comm"
@@ -62,7 +63,7 @@ func TestWorkersBitwiseEquivalent(t *testing.T) {
 		if d := MaxDiffGlobal(g, ref.Finals, got.Finals); d != 0 {
 			t.Errorf("Workers=%d: state deviates from serial by %g (want bitwise match)", nw, d)
 		}
-		if got.Agg != ref.Agg {
+		if !reflect.DeepEqual(got.Agg, ref.Agg) {
 			t.Errorf("Workers=%d: aggregate metrics differ\n got %+v\nwant %+v", nw, got.Agg, ref.Agg)
 		}
 		if got.Count != ref.Count {
@@ -84,7 +85,7 @@ func TestWorkersBaselineBitwiseEquivalent(t *testing.T) {
 	if d := MaxDiffGlobal(g, ref.Finals, got.Finals); d != 0 {
 		t.Errorf("Workers=3 baseline: state deviates by %g (want bitwise match)", d)
 	}
-	if got.Agg != ref.Agg {
+	if !reflect.DeepEqual(got.Agg, ref.Agg) {
 		t.Errorf("Workers=3 baseline: aggregate metrics differ\n got %+v\nwant %+v", got.Agg, ref.Agg)
 	}
 }

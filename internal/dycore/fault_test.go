@@ -1,6 +1,7 @@
 package dycore_test
 
 import (
+	"reflect"
 	"testing"
 
 	"cadycore/internal/checkpoint"
@@ -97,7 +98,7 @@ func TestInertFaultProfileBitwise(t *testing.T) {
 		if inert.Abort != nil {
 			t.Fatalf("%v: inert profile aborted: %v", alg, inert.Abort)
 		}
-		if base.Agg != inert.Agg {
+		if !reflect.DeepEqual(base.Agg, inert.Agg) {
 			t.Errorf("%v: aggregate stats differ under inert fault profile:\n got %+v\nwant %+v", alg, inert.Agg, base.Agg)
 		}
 		if d := dycore.MaxDiffGlobal(g, base.Finals, inert.Finals); d != 0 {

@@ -57,11 +57,22 @@ type RunOpts struct {
 	// crash boundary — recovery is from the latest periodic checkpoint,
 	// like a real mid-step rank death.
 	CrashAt func(rank, done int) bool
+	// Rebalance, if non-nil, is sampled once per step boundary by the
+	// barrier leader — after Progress, and only when ShouldStop has not
+	// already stopped the run — with the completed-step count and the
+	// per-rank simulated clock and compute seconds in rank order. The two
+	// slices are preallocated and reused across boundaries (zero allocations
+	// on the hot path); callers must copy what they retain. Returning true
+	// stops every rank at that boundary exactly like ShouldStop, including
+	// the stop-triggered Snapshot — which is how the load-rebalancing
+	// controller quiesces a run for an in-flight migration. Like the barrier
+	// itself, the sampling is invisible to the LogP clock.
+	Rebalance func(done int, clock, comp []float64) bool
 }
 
 // controlled reports whether the step-boundary barrier is needed.
 func (o RunOpts) controlled() bool {
-	return o.Progress != nil || o.ShouldStop != nil || o.Snapshot != nil
+	return o.Progress != nil || o.ShouldStop != nil || o.Snapshot != nil || o.Rebalance != nil
 }
 
 // stepCtl is the step-boundary barrier. Ranks call arrive after each step;
@@ -79,24 +90,32 @@ type stepCtl struct {
 	stop    bool
 	broken  bool
 	sts     []*state.State
+	// clock and comp are the per-rank telemetry registered at each arrival,
+	// preallocated once so the boundary stays allocation-free.
+	clock []float64
+	comp  []float64
 }
 
 func newStepCtl(n int, opts RunOpts) *stepCtl {
-	c := &stepCtl{opts: opts, n: n, sts: make([]*state.State, n)}
+	c := &stepCtl{opts: opts, n: n, sts: make([]*state.State, n),
+		clock: make([]float64, n), comp: make([]float64, n)}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
 
 // arrive parks the rank at the boundary after `done` completed steps and
 // returns the leader's stop decision for that boundary. st is the rank's
-// current state, registered for Snapshot.
-func (c *stepCtl) arrive(done, rank int, st *state.State) bool {
+// current state, registered for Snapshot; clk and cmp are its simulated
+// clock and compute seconds, registered for Rebalance.
+func (c *stepCtl) arrive(done, rank int, st *state.State, clk, cmp float64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken {
 		return true
 	}
 	c.sts[rank] = st
+	c.clock[rank] = clk
+	c.comp[rank] = cmp
 	c.arrived++
 	if c.arrived < c.n {
 		gen := c.gen
@@ -115,6 +134,9 @@ func (c *stepCtl) arrive(done, rank int, st *state.State) bool {
 		c.opts.Progress(done)
 	}
 	stop := c.opts.ShouldStop != nil && c.opts.ShouldStop()
+	if !stop && c.opts.Rebalance != nil {
+		stop = c.opts.Rebalance(done, c.clock, c.comp)
+	}
 	if c.opts.Snapshot != nil && (stop || (c.opts.SnapshotEvery > 0 && done%c.opts.SnapshotEvery == 0)) {
 		c.opts.Snapshot(done, c.sts)
 	}

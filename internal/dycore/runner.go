@@ -269,7 +269,7 @@ func runOnWorld(s Setup, g *grid.Grid, model comm.NetModel, init InitFunc, steps
 				if opts.CrashAt != nil && opts.CrashAt(c.Rank(), k+1) {
 					panic(&RankFailure{Rank: c.Rank(), Step: k + 1})
 				}
-				if ctl != nil && ctl.arrive(k+1, c.Rank(), ig.Xi()) {
+				if ctl != nil && ctl.arrive(k+1, c.Rank(), ig.Xi(), c.Clock(), c.CompTime()) {
 					break
 				}
 			}

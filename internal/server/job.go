@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"cadycore/internal/balance"
 	"cadycore/internal/checkpoint"
 	"cadycore/internal/comm"
 	"cadycore/internal/diag"
@@ -98,6 +99,15 @@ type JobSpec struct {
 	// The fleet coordinator sets it to the fleet job ID so a job migrated
 	// off a dead backend resumes on another. Run jobs only.
 	SharedKey string `json:"shared_key,omitempty"`
+
+	// Rebalance, when non-nil, turns on the live load-rebalancing runtime for
+	// this job (internal/balance): per-rank compute telemetry is watched at
+	// every step boundary, and a sustained imbalance triggers an in-flight
+	// migration to a re-planned layout. Requires layout "auto" — rebalancing
+	// reasons in the planner's candidate space, and an explicitly pinned
+	// layout is a promise the runtime must not silently break. The zero
+	// policy {} uses the documented defaults.
+	Rebalance *balance.Policy `json:"rebalance,omitempty"`
 
 	// PerturbAmp > 0 applies a deterministic multiplicative perturbation of
 	// relative amplitude PerturbAmp to the initial U, V and Φ fields, seeded
@@ -185,7 +195,15 @@ func (sp *JobSpec) Normalize() error {
 	if sp.Kind != "run" && (sp.SharedKey != "" || sp.PerturbAmp != 0 || sp.PerturbSeed != 0) {
 		return fmt.Errorf("shared_key/perturb_* are only meaningful for run jobs")
 	}
+	if sp.Rebalance != nil {
+		if err := sp.Rebalance.Validate(); err != nil {
+			return fmt.Errorf("rebalance: %w", err)
+		}
+	}
 	if sp.Kind == "figures" {
+		if sp.Rebalance != nil {
+			return fmt.Errorf("rebalance is only meaningful for run jobs")
+		}
 		if sp.MaxRestarts != nil {
 			return fmt.Errorf("max_restarts is only meaningful for run jobs (sweeps are not checkpointable)")
 		}
@@ -234,6 +252,9 @@ func (sp *JobSpec) Normalize() error {
 	}
 	if sp.Procs != 0 {
 		return fmt.Errorf("procs is only meaningful with layout \"auto\"")
+	}
+	if sp.Rebalance != nil {
+		return fmt.Errorf("rebalance requires layout \"auto\" (an explicit layout is pinned)")
 	}
 	// Explicit layout: algorithm and process grid.
 	if sp.Alg == "" {
@@ -413,8 +434,11 @@ type Job struct {
 	figures []string           //cadyvet:guardedby mu
 
 	// plan is the autotuner's decision for auto-layout jobs (set when the
-	// first execution segment plans, reused by resumes).
+	// first execution segment plans, reused by resumes). A live rebalance
+	// replaces it with the migrated layout so resumes restart there.
 	plan *tune.Plan //cadyvet:guardedby mu
+	// migrations is the live-rebalancing migration log.
+	migrations []balance.Migration //cadyvet:guardedby mu
 	// chaos is the job's fault injector, built lazily from the server's
 	// chaos plan so crash budgets span automatic restarts.
 	chaos *fault.Injector //cadyvet:guardedby mu
@@ -459,8 +483,11 @@ type JobStatus struct {
 	Diagnostics map[string]float64 `json:"diagnostics,omitempty"`
 	Figures     []string           `json:"figures,omitempty"`
 
-	// Plan is the autotuner's chosen layout for auto-layout jobs.
+	// Plan is the autotuner's chosen layout for auto-layout jobs (the
+	// current layout after any live rebalancing).
 	Plan *tune.Plan `json:"plan,omitempty"`
+	// Migrations is the live-rebalancing migration log of the job.
+	Migrations []balance.Migration `json:"migrations,omitempty"`
 
 	Spec JobSpec `json:"spec"`
 }
@@ -529,6 +556,10 @@ func (j *Job) Status() JobStatus {
 		p := *j.plan
 		st.Plan = &p
 	}
+	if len(j.migrations) > 0 {
+		st.Migrations = make([]balance.Migration, len(j.migrations))
+		copy(st.Migrations, j.migrations)
+	}
 	return st
 }
 
@@ -560,29 +591,6 @@ func (j *Job) latestSnapshot() (*checkpoint.Global, int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.snap, j.ckptStep
-}
-
-// mergeAgg accumulates a later execution segment into the job's cumulative
-// statistics: counters and times sum (segments run back to back), Ranks is
-// the segment's rank count.
-func mergeAgg(a, b comm.Aggregate) comm.Aggregate {
-	if a.Ranks == 0 {
-		return b
-	}
-	out := a
-	out.Ranks = b.Ranks
-	out.BytesSent += b.BytesSent
-	out.MsgsSent += b.MsgsSent
-	out.Collectives += b.Collectives
-	for i := range out.BytesByCat {
-		out.BytesByCat[i] += b.BytesByCat[i]
-		out.MsgsByCat[i] += b.MsgsByCat[i]
-		out.CollByCat[i] += b.CollByCat[i]
-		out.CommTimeMax[i] += b.CommTimeMax[i]
-	}
-	out.CompTimeMax += b.CompTimeMax
-	out.SimTime += b.SimTime
-	return out
 }
 
 func mergeCounters(a, b dycore.Counters) dycore.Counters {

@@ -35,12 +35,23 @@ type metrics struct {
 	sharedPuts    atomic.Int64
 	sharedResumes atomic.Int64
 
+	// live load-rebalancing: imbalance detections that reached the
+	// re-planner, executed migrations, and rejected re-plans.
+	rebalanceDecisions  atomic.Int64
+	rebalanceMigrations atomic.Int64
+	rebalanceSkipped    atomic.Int64
+
 	// communication-overlap accounting, accumulated from every run
 	// segment's critical-path statistics (guarded by exchMu).
 	exchMu     sync.Mutex
 	exposedSec float64                //cadyvet:guardedby exchMu
 	hiddenSec  float64                //cadyvet:guardedby exchMu
 	exch       map[string]*exchTotals //cadyvet:guardedby exchMu
+	// rankComp accumulates per-rank simulated compute seconds over run
+	// segments (index = world rank; grows to the widest world seen);
+	// lastImbalance is the latest segment's max/min compute ratio.
+	rankComp      []float64 //cadyvet:guardedby exchMu
+	lastImbalance float64   //cadyvet:guardedby exchMu
 }
 
 // exchTotals accumulates one exchanger label's overlap accounting across
@@ -70,6 +81,15 @@ func (m *metrics) observeRun(res dycore.RunResult) {
 		t.finishes += ex.Finishes
 		t.hiddenSec += ex.HiddenSec
 		t.exposedSec += ex.ExposedSec
+	}
+	for len(m.rankComp) < len(res.Agg.RankComp) {
+		m.rankComp = append(m.rankComp, 0)
+	}
+	for r, v := range res.Agg.RankComp {
+		m.rankComp[r] += v
+	}
+	if imb := res.Agg.CompImbalance(); imb > 0 {
+		m.lastImbalance = imb
 	}
 }
 
@@ -140,6 +160,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE cady_shared_resumes_total counter")
 	p("cady_shared_resumes_total %d", s.met.sharedResumes.Load())
 
+	p("# HELP cady_rebalance_decisions_total Sustained-imbalance detections that reached the re-planner.")
+	p("# TYPE cady_rebalance_decisions_total counter")
+	p("cady_rebalance_decisions_total %d", s.met.rebalanceDecisions.Load())
+	p("# HELP cady_rebalance_migrations_total In-flight layout migrations executed by the load-rebalancing runtime.")
+	p("# TYPE cady_rebalance_migrations_total counter")
+	p("cady_rebalance_migrations_total %d", s.met.rebalanceMigrations.Load())
+	p("# HELP cady_rebalance_skipped_total Re-plans rejected (no better layout, gain under the migration-cost gate, or budget exhausted).")
+	p("# TYPE cady_rebalance_skipped_total counter")
+	p("cady_rebalance_skipped_total %d", s.met.rebalanceSkipped.Load())
+
+	p("# HELP cady_plan_info Current layout of each planned job (auto layout or live-rebalanced), value always 1.")
+	p("# TYPE cady_plan_info gauge")
+	for _, j := range s.List() {
+		if pl := j.getPlan(); pl != nil {
+			p("cady_plan_info{job=%q,plan=%q} 1", j.ID, pl.Candidate().Key())
+		}
+	}
+
 	s.met.exchMu.Lock()
 	p("# HELP cady_comm_exposed_seconds_total Simulated communication seconds on the critical path, summed over run segments.")
 	p("# TYPE cady_comm_exposed_seconds_total counter")
@@ -180,6 +218,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, l := range labels {
 		p("cady_exchanger_exposed_seconds_total{exchanger=%q} %g", l, s.met.exch[l].exposedSec)
 	}
+	p("# HELP cady_rank_comp_seconds_total Simulated compute seconds by world rank, summed over run segments.")
+	p("# TYPE cady_rank_comp_seconds_total counter")
+	for r, v := range s.met.rankComp {
+		p("cady_rank_comp_seconds_total{rank=\"%d\"} %g", r, v)
+	}
+	p("# HELP cady_comp_imbalance Latest run segment's max/min per-rank compute ratio (0 = no telemetry yet).")
+	p("# TYPE cady_comp_imbalance gauge")
+	p("cady_comp_imbalance %g", s.met.lastImbalance)
 	s.met.exchMu.Unlock()
 
 	p("# HELP cady_steps_total Dynamical-core steps completed across all jobs.")

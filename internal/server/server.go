@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"cadycore/internal/balance"
 	"cadycore/internal/checkpoint"
 	"cadycore/internal/comm"
 	"cadycore/internal/dycore"
@@ -478,6 +479,7 @@ func (s *Server) runJob(j *Job) {
 
 	g := grid.New(j.Spec.Nx, j.Spec.Ny, j.Spec.Nz)
 	var set dycore.Setup
+	var ctl *balance.Controller
 	if j.Spec.autoLayout() {
 		plan, err := s.planJob(j, g)
 		if err != nil {
@@ -492,6 +494,24 @@ func (s *Server) runJob(j *Job) {
 			return
 		}
 		set = plan.Setup(j.Spec.config())
+		if j.Spec.Rebalance != nil {
+			// The controller starts from the job's current plan — the
+			// autotuner's choice, or the migrated layout of a resumed job
+			// (setPlan records migrations, so checkpoints stay coherent).
+			ctl, err = balance.NewController(*j.Spec.Rebalance, g, j.Spec.config(),
+				s.planner.Profile, j.Spec.Steps, plan.Candidate())
+			if err != nil {
+				j.mu.Lock()
+				j.state = JFailed
+				j.errMsg = fmt.Sprintf("rebalance: %v", err)
+				j.resumable = false
+				j.finished = time.Now()
+				j.cancel = nil
+				j.mu.Unlock()
+				s.met.failed.Add(1)
+				return
+			}
+		}
 	} else {
 		set = j.Spec.setup()
 	}
@@ -527,8 +547,7 @@ func (s *Server) runJob(j *Job) {
 			init = perturbInit(init, j.Spec.PerturbSeed, j.Spec.PerturbAmp)
 		}
 	}
-	remaining := j.Spec.Steps - segBase
-	if remaining <= 0 {
+	if j.Spec.Steps-segBase <= 0 {
 		j.mu.Lock()
 		j.state = JCompleted
 		j.finished = time.Now()
@@ -538,80 +557,130 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 
-	opts := dycore.RunOpts{
-		Hook: hook,
-		// A checkpointed state is mid-trajectory: it still owes the
-		// comm-avoiding scheme's deferred smoothing (see dycore.ResumeSetter).
-		Resume: snap != nil,
-		Progress: func(done int) {
-			j.mu.Lock()
-			j.stepsDone = segBase + done
-			j.mu.Unlock()
-			s.met.steps.Add(1)
-			if s.testStep != nil {
-				s.testStep(j, segBase+done)
-			}
-		},
-		ShouldStop:    func() bool { return ctx.Err() != nil },
-		SnapshotEvery: j.Spec.CheckpointEvery,
-		Snapshot: func(done int, sts []*state.State) {
-			gl := checkpoint.Gather(g, sts)
-			j.setSnapshot(segBase+done, gl)
-			s.met.snapshots.Add(1)
-			s.persistSnap(j, gl)
-			s.shareSnap(j, segBase+done, gl)
-		},
-	}
-	if s.chaos != nil {
-		inj := j.ensureChaos(s.chaos)
-		opts.Faults = inj.CommFaults(set.Procs())
-		opts.CrashAt = inj.CrashFunc(segBase)
-	}
-	res, _ := dycore.RunWithOpts(set, g, s.model, init, remaining, opts)
-	s.met.observeRun(res)
-
-	if res.Abort != nil {
-		s.handleAbort(j, res)
-		return
-	}
-
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.cancel = nil
-	j.stepsDone = segBase + res.StepsDone
-	j.agg = mergeAgg(j.agg, res.Agg)
-	j.count = mergeCounters(j.count, res.Count)
-	j.finished = time.Now()
-	if res.StepsDone < remaining {
-		// Stopped at a boundary; the stop-triggered Snapshot already
-		// recorded the checkpoint at exactly j.stepsDone.
-		j.resumable = true
-		switch {
-		case j.cancelRequested:
-			j.state = JCancelled
-			s.met.cancelled.Add(1)
-		case errors.Is(ctx.Err(), context.DeadlineExceeded):
-			j.state = JFailed
-			j.errMsg = "deadline exceeded"
-			s.met.failed.Add(1)
-		default:
-			j.state = JInterrupted
-			s.met.interrupted.Add(1)
+	// Segment loop: one iteration per layout. Without rebalancing it runs
+	// once; an in-flight migration quiesces the run at a step boundary,
+	// restores the stop checkpoint into the re-planned layout and loops.
+	resume := snap != nil
+	var lastDec, lastSkip int64
+	for {
+		segStart := segBase
+		remaining := j.Spec.Steps - segStart
+		opts := dycore.RunOpts{
+			Hook: hook,
+			// A checkpointed state is mid-trajectory: it still owes the
+			// comm-avoiding scheme's deferred smoothing (see dycore.ResumeSetter).
+			Resume: resume,
+			Progress: func(done int) {
+				j.mu.Lock()
+				j.stepsDone = segStart + done
+				j.mu.Unlock()
+				s.met.steps.Add(1)
+				if s.testStep != nil {
+					s.testStep(j, segStart+done)
+				}
+			},
+			ShouldStop:    func() bool { return ctx.Err() != nil },
+			SnapshotEvery: j.Spec.CheckpointEvery,
+			Snapshot: func(done int, sts []*state.State) {
+				gl := checkpoint.Gather(g, sts)
+				j.setSnapshot(segStart+done, gl)
+				s.met.snapshots.Add(1)
+				s.persistSnap(j, gl)
+				s.shareSnap(j, segStart+done, gl)
+			},
 		}
+		if ctl != nil {
+			set = ctl.Setup()
+			opts.Rebalance = ctl.Hook(segStart)
+		}
+		if s.chaos != nil {
+			inj := j.ensureChaos(s.chaos)
+			opts.Faults = inj.CommFaults(set.Procs())
+			opts.CrashAt = inj.CrashFunc(segStart)
+		}
+		res, _ := dycore.RunWithOpts(set, g, s.model, init, remaining, opts)
+		s.met.observeRun(res)
+		if ctl != nil {
+			// The controller's counters are cumulative; export the deltas.
+			st := ctl.Snapshot()
+			s.met.rebalanceDecisions.Add(st.Decisions - lastDec)
+			s.met.rebalanceSkipped.Add(st.Skipped - lastSkip)
+			lastDec, lastSkip = st.Decisions, st.Skipped
+		}
+
+		if res.Abort != nil {
+			s.handleAbort(j, res)
+			return
+		}
+
+		j.mu.Lock()
+		j.cancel = nil
+		j.stepsDone = segStart + res.StepsDone
+		j.agg = comm.MergeAggregate(j.agg, res.Agg)
+		j.count = mergeCounters(j.count, res.Count)
+		j.finished = time.Now()
+		if res.StepsDone < remaining {
+			// Stopped at a boundary; the stop-triggered Snapshot already
+			// recorded the checkpoint at exactly j.stepsDone.
+			if ctl != nil && ctx.Err() == nil {
+				// Not a cancel, drain or deadline: the rebalance hook stopped
+				// the run, so a re-planned layout is staged. Commit it and
+				// continue from the quiesce checkpoint in the new layout.
+				if plan, mig := ctl.TakePending(); plan != nil {
+					gl, step := j.snap, j.ckptStep
+					if gl != nil && step == j.stepsDone {
+						p := *plan
+						j.plan = &p
+						j.agg.SimTime += tune.MigrationCost(g, set.Procs(), ctl.Profile())
+						j.migrations = append(j.migrations, mig)
+						j.state = JRunning
+						j.finished = time.Time{}
+						j.cancel = cancel
+						s.persistMetaLocked(j)
+						j.mu.Unlock()
+						s.met.rebalanceMigrations.Add(1)
+						segBase = step
+						init = gl.InitFunc()
+						resume = true
+						continue
+					}
+					// No coherent quiesce checkpoint (snapshot persistence is
+					// the only writer, so this is a bug guard, not a race):
+					// fall through to the interrupted classification below —
+					// the job stays resumable in its previous layout.
+				}
+			}
+			j.resumable = true
+			switch {
+			case j.cancelRequested:
+				j.state = JCancelled
+				s.met.cancelled.Add(1)
+			case errors.Is(ctx.Err(), context.DeadlineExceeded):
+				j.state = JFailed
+				j.errMsg = "deadline exceeded"
+				s.met.failed.Add(1)
+			default:
+				j.state = JInterrupted
+				s.met.interrupted.Add(1)
+			}
+			j.mu.Unlock()
+			return
+		}
+		// Ran to completion: record diagnostics and the final state as the
+		// job's last checkpoint.
+		j.state = JCompleted
+		j.errMsg = "" // clear the abort message of a recovered crash
+		j.resumable = false
+		j.diags = diagnostics(g, res.Finals)
+		final := checkpoint.Gather(g, res.Finals)
+		j.snap = final
+		j.ckptStep = j.stepsDone
+		s.met.completed.Add(1)
+		s.persistSnapLocked(j, final)
+		s.shareSnapLocked(j, j.stepsDone, final)
+		j.mu.Unlock()
 		return
 	}
-	// Ran to completion: record diagnostics and the final state as the
-	// job's last checkpoint.
-	j.state = JCompleted
-	j.errMsg = "" // clear the abort message of a recovered crash
-	j.resumable = false
-	j.diags = diagnostics(g, res.Finals)
-	final := checkpoint.Gather(g, res.Finals)
-	j.snap = final
-	j.ckptStep = j.stepsDone
-	s.met.completed.Add(1)
-	s.persistSnapLocked(j, final)
-	s.shareSnapLocked(j, j.stepsDone, final)
 }
 
 // sharedSnapshot loads the newest shared-store snapshot of a job keyed for
@@ -646,7 +715,7 @@ func (s *Server) handleAbort(j *Job, res dycore.RunResult) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.cancel = nil
-	j.agg = mergeAgg(j.agg, res.Agg)
+	j.agg = comm.MergeAggregate(j.agg, res.Agg)
 	j.errMsg = res.Abort.Error()
 	j.resumable = true
 	switch {
@@ -771,6 +840,9 @@ func validatePlanned(sp JobSpec, p tune.Plan) error {
 	if p.Scheme == tune.SchemeCA {
 		v.StageM = p.Stage
 	}
+	// The explicit-layout gate rejects rebalance (a pinned layout must not
+	// migrate); the planned spec is only borrowing that gate for feasibility.
+	v.Rebalance = nil
 	return v.Normalize()
 }
 
@@ -784,14 +856,15 @@ func validatePlanned(sp JobSpec, p tune.Plan) error {
 // cady_persist_errors_total counter.
 
 type jobMeta struct {
-	State     JState     `json:"state"`
-	StepsDone int        `json:"steps_done"`
-	CkptStep  int        `json:"checkpoint_step"`
-	Resumable bool       `json:"resumable"`
-	Error     string     `json:"error,omitempty"`
-	Attempts  int        `json:"attempts"`
-	Restarts  int        `json:"restarts,omitempty"`
-	Plan      *tune.Plan `json:"plan,omitempty"`
+	State      JState              `json:"state"`
+	StepsDone  int                 `json:"steps_done"`
+	CkptStep   int                 `json:"checkpoint_step"`
+	Resumable  bool                `json:"resumable"`
+	Error      string              `json:"error,omitempty"`
+	Attempts   int                 `json:"attempts"`
+	Restarts   int                 `json:"restarts,omitempty"`
+	Plan       *tune.Plan          `json:"plan,omitempty"`
+	Migrations []balance.Migration `json:"migrations,omitempty"`
 }
 
 func (s *Server) jobDir(j *Job) string { return filepath.Join(s.cfg.Dir, j.ID) }
@@ -838,14 +911,15 @@ func (s *Server) persistMetaLocked(j *Job) {
 		return
 	}
 	m := jobMeta{
-		State:     j.state,
-		StepsDone: j.stepsDone,
-		CkptStep:  j.ckptStep,
-		Resumable: j.resumable,
-		Error:     j.errMsg,
-		Attempts:  j.attempts,
-		Restarts:  j.restarts,
-		Plan:      j.plan,
+		State:      j.state,
+		StepsDone:  j.stepsDone,
+		CkptStep:   j.ckptStep,
+		Resumable:  j.resumable,
+		Error:      j.errMsg,
+		Attempts:   j.attempts,
+		Restarts:   j.restarts,
+		Plan:       j.plan,
+		Migrations: j.migrations,
 	}
 	b, _ := json.MarshalIndent(m, "", "  ")
 	if err := writeFileAtomic(filepath.Join(s.jobDir(j), "meta.json"), b); err != nil {
@@ -967,6 +1041,7 @@ func (s *Server) recover() error {
 				j.attempts = m.Attempts
 				j.restarts = m.Restarts
 				j.plan = m.Plan
+				j.migrations = m.Migrations
 			}
 		}
 		if f, err := os.Open(filepath.Join(dir, "snap.ck")); err == nil {

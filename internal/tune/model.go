@@ -39,6 +39,23 @@ const fieldsPerExchange = 4
 // (K = 1); only relative order matters for planning, but the scale is real
 // seconds so predictions are comparable with pilot measurements.
 func Evaluate(g *grid.Grid, cfg dycore.Config, prof Profile, c Candidate) Estimate {
+	comp, comm := colCosts(g, cfg, prof, c)
+	worst := Estimate{Candidate: c}
+	for cy := range comp {
+		if t := comp[cy] + comm[cy]; t > worst.Total {
+			worst.Comp, worst.Comm, worst.Total = comp[cy], comm[cy], t
+		}
+	}
+	return worst
+}
+
+// colCosts prices every y column of the candidate's process grid separately,
+// returning per-column compute and communication seconds per step (length
+// py). All ranks of one column carry the same modeled cost: the x and z
+// splits are uniform, only the y rows differ. The split form feeds both
+// Evaluate (max over columns) and the rate-aware re-planner, which scales
+// the compute term by measured per-rank slowdowns.
+func colCosts(g *grid.Grid, cfg dycore.Config, prof Profile, c Candidate) (compCols, commCols []float64) {
 	px, py, pz := 1, c.PA, c.PB
 	if c.Scheme == SchemeXY {
 		px, py, pz = c.PA, c.PB, 1
@@ -77,7 +94,8 @@ func Evaluate(g *grid.Grid, cfg dycore.Config, prof Profile, c Candidate) Estima
 		_, hy, hz = dycore.BaselineHalo()
 	}
 
-	worst := Estimate{Candidate: c}
+	compCols = make([]float64, py)
+	commCols = make([]float64, py)
 	nxl := g.Nx / px
 	layers := g.Nz / pz
 	for cy := 0; cy < py; cy++ {
@@ -144,11 +162,10 @@ func Evaluate(g *grid.Grid, cfg dycore.Config, prof Profile, c Candidate) Estima
 				cal.Beta*8*2*points*math.Log2(float64(px)))
 		}
 
-		if t := comp + comm; t > worst.Total {
-			worst.Comp, worst.Comm, worst.Total = comp, comm, t
-		}
+		compCols[cy] = comp
+		commCols[cy] = comm
 	}
-	return worst
+	return compCols, commCols
 }
 
 func boolF(b bool) float64 {

@@ -165,6 +165,14 @@ func (pl *Planner) Plan(g *grid.Grid, procs int, cfg dycore.Config) (Plan, error
 	return plan, nil
 }
 
+// PlanOf builds a Plan directly from a chosen candidate and its predicted
+// step time, bypassing the enumeration — the rebalancing controller's entry
+// point for publishing a mid-run re-plan in the same schema the planner and
+// the job service persist.
+func PlanOf(g *grid.Grid, procs int, c Candidate, prof Profile, predicted float64) Plan {
+	return planFrom(g, procs, Estimate{Candidate: c, Total: predicted}, prof)
+}
+
 // planFrom fills a Plan from an estimate.
 func planFrom(g *grid.Grid, procs int, e Estimate, prof Profile) Plan {
 	c := e.Candidate
