@@ -1,0 +1,37 @@
+package costmodel
+
+import "math"
+
+// Spectral-smoothing compute forms: the §5.3 extension for the composed
+// zonal-symbol fast path. The stencil smoothing pass costs a flat per-point
+// charge; the spectral pass replaces the zonal convolution of each row with
+// one real-FFT round trip, whose n_x·log2 n_x arithmetic amortizes to a
+// log2 n_x per-point charge. The Θ forms alone would rank the spectral path
+// worse (n_x·log2 n_x > n_x); the win lives entirely in the constants —
+// a 25-point stencil application versus a few flops per butterfly — so these
+// expressions carry the calibrated rates explicitly, the same way Calib
+// attaches α/β to the communication Θ forms.
+
+// SpectralSmoothPoint is the per-point compute charge of one composed-symbol
+// smoothing application at zonal extent nx, in point-update equivalents:
+// cRow·log2 n_x for the row's FFT round trip (forward, symbol multiply,
+// inverse — amortized over the n_x points of the row) plus cY·yShare for the
+// meridional 5-point coupling that stays stencil. yShare ∈ [0,1] is the
+// fraction of smoothed field applications carrying the y coupling (the P2
+// fields Φ and p'_sa; the pure-P1x winds skip it).
+func SpectralSmoothPoint(nx int, cY, cRow, yShare float64) float64 {
+	if nx < 2 {
+		nx = 2
+	}
+	return cY*yShare + cRow*math.Log2(float64(nx))
+}
+
+// SpectralSmoothWins reports whether the spectral path out-prices the flat
+// cSten per-point stencil pass at zonal extent nx. The crossover is at
+// log2 n_x = (cSten − cY·yShare)/cRow; below it the spectral path wins,
+// above it the stencil's n_x-independent constant takes over — the reason
+// the tuner prices the switch per candidate layout instead of hard-coding
+// either regime.
+func SpectralSmoothWins(nx int, cSten, cY, cRow, yShare float64) bool {
+	return SpectralSmoothPoint(nx, cY, cRow, yShare) < cSten
+}

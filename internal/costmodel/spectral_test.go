@@ -1,0 +1,44 @@
+package costmodel_test
+
+import (
+	"testing"
+
+	"cadycore/internal/costmodel"
+	"cadycore/internal/dycore"
+)
+
+// TestSpectralSmoothWinsAtFigureMesh pins the priced form against the
+// simulated machine's weights: at the paper's figure mesh (n_x = 96) the
+// composed-symbol pass must out-price the stencil pass, a crossover to the
+// stencil regime must exist at large n_x, and the per-point charge must be
+// monotone in n_x (the log2 n_x row amortization).
+func TestSpectralSmoothWinsAtFigureMesh(t *testing.T) {
+	_, _, cSten, _, _ := dycore.SimCosts()
+	cY, cRow := dycore.SimSpectralSmooth()
+	const yShare = 0.5 // two of the four smoothed fields carry the y coupling
+
+	if !costmodel.SpectralSmoothWins(96, cSten, cY, cRow, yShare) {
+		t.Errorf("spectral pass does not win at nx=96: %g >= %g",
+			costmodel.SpectralSmoothPoint(96, cY, cRow, yShare), cSten)
+	}
+	if !costmodel.SpectralSmoothWins(16, cSten, cY, cRow, yShare) {
+		t.Errorf("spectral pass does not win at the test mesh nx=16")
+	}
+
+	// The log2 growth must eventually hand the win back to the stencil.
+	crossed := false
+	prev := 0.0
+	for nx := 4; nx <= 1<<20; nx *= 2 {
+		p := costmodel.SpectralSmoothPoint(nx, cY, cRow, yShare)
+		if p < prev {
+			t.Fatalf("per-point charge not monotone: %g at nx=%d after %g", p, nx, prev)
+		}
+		prev = p
+		if !costmodel.SpectralSmoothWins(nx, cSten, cY, cRow, yShare) {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Error("no stencil-regime crossover up to nx=2^20; the priced form lost its constant")
+	}
+}

@@ -1,0 +1,144 @@
+package dycore
+
+import (
+	"reflect"
+	"testing"
+
+	"cadycore/internal/checkpoint"
+	"cadycore/internal/comm"
+	"cadycore/internal/grid"
+	"cadycore/internal/heldsuarez"
+	"cadycore/internal/state"
+)
+
+// TestSpectralSmoothMatchesStencil pins the end-to-end spectral fast path
+// on both integrators: a multi-step run with Config.SpectralSmooth stays
+// within the per-application 1e-11 pin (amplified mildly by the nonlinear
+// feedback) of the stencil run, and the simulated clock improves — the
+// composed-symbol row cost is below the stencil smoothing cost at every
+// zonal extent the cost model prices.
+func TestSpectralSmoothMatchesStencil(t *testing.T) {
+	g := testGrid()
+	for _, alg := range []Algorithm{AlgCommAvoid, AlgBaselineYZ} {
+		cfg := testCfg(2)
+		sten := Run(Setup{Alg: alg, PA: 2, PB: 2, Cfg: cfg}, g, comm.TianheLike(), testInit, 3)
+		scale := maxAbsVec(FlattenState(g, sten.Finals))
+		sp := cfg
+		sp.SpectralSmooth = true
+		res := Run(Setup{Alg: alg, PA: 2, PB: 2, Cfg: sp}, g, comm.TianheLike(), testInit, 3)
+		if d := MaxDiffGlobal(g, sten.Finals, res.Finals); d > 1e-10*(1+scale) {
+			t.Errorf("%v: spectral run deviates from stencil by %g (scale %g)", alg, d, scale)
+		}
+		if res.Agg.SimTime >= sten.Agg.SimTime {
+			t.Errorf("%v: spectral sim clock %g not below stencil clock %g",
+				alg, res.Agg.SimTime, sten.Agg.SimTime)
+		}
+	}
+}
+
+// TestSpectralSmoothXYFallsBackToStencil: with p_x > 1 no rank owns a full
+// zonal circle, so the spectral smoother is never constructed and the run —
+// numerics and simulated clock — is bitwise the stencil run. The switch is
+// accepted and silently inert, mirroring how the polar filter handles the
+// distributed-x case.
+func TestSpectralSmoothXYFallsBackToStencil(t *testing.T) {
+	g := testGrid()
+	cfg := testCfg(2)
+	sp := cfg
+	sp.SpectralSmooth = true
+	sten := Run(Setup{Alg: AlgBaselineXY, PA: 2, PB: 2, Cfg: cfg}, g, comm.TianheLike(), testInit, 3)
+	res := Run(Setup{Alg: AlgBaselineXY, PA: 2, PB: 2, Cfg: sp}, g, comm.TianheLike(), testInit, 3)
+	if d := MaxDiffGlobal(g, sten.Finals, res.Finals); d != 0 {
+		t.Errorf("spectral switch changed a p_x > 1 run by %g, want bitwise inert", d)
+	}
+	if !reflect.DeepEqual(sten.Agg, res.Agg) {
+		t.Errorf("spectral switch changed a p_x > 1 run's clock:\n got %+v\nwant %+v", res.Agg, sten.Agg)
+	}
+}
+
+// TestSpectralStagedComposes is the staged-exchange × spectral interaction
+// check: Config.StageM re-partitions the adaptation halo schedule while the
+// smoothing — settled entirely by the first deep exchange — is untouched,
+// so the two switches compose. Staged spectral runs stay within the staged
+// approximation tolerance of the monolithic spectral run, and full-depth
+// staging recovers it bitwise.
+func TestSpectralStagedComposes(t *testing.T) {
+	g := testGrid()
+	cfg := testCfg(3)
+	cfg.SpectralSmooth = true
+	mono := Run(Setup{Alg: AlgCommAvoid, PA: 2, PB: 2, Cfg: cfg}, g, comm.TianheLike(), testInit, 3)
+	scale := maxAbsVec(FlattenState(g, mono.Finals))
+
+	for _, s := range []int{1, 2} {
+		staged := cfg
+		staged.StageM = s
+		res := Run(Setup{Alg: AlgCommAvoid, PA: 2, PB: 2, Cfg: staged}, g, comm.TianheLike(), testInit, 3)
+		if d := MaxDiffGlobal(g, mono.Finals, res.Finals); d > 1e-6*(1+scale) {
+			t.Errorf("stage depth %d under spectral deviates from monolithic by %g (scale %g)", s, d, scale)
+		}
+		if res.Count.HaloExchanges <= mono.Count.HaloExchanges {
+			t.Errorf("stage depth %d did %d exchange rounds, want more than the monolithic %d",
+				s, res.Count.HaloExchanges, mono.Count.HaloExchanges)
+		}
+	}
+
+	full := cfg
+	full.StageM = cfg.M
+	res := Run(Setup{Alg: AlgCommAvoid, PA: 2, PB: 2, Cfg: full}, g, comm.TianheLike(), testInit, 3)
+	if d := MaxDiffGlobal(g, mono.Finals, res.Finals); d != 0 {
+		t.Errorf("StageM = M under spectral deviates from monolithic by %g, want bitwise identity", d)
+	}
+}
+
+// TestSpectralResumeAppliesPendingSmoothing is the crash-recovery contract
+// under the spectral path (the mid-phase checkpoint satellite): a resumed
+// comm-avoiding run must apply the deferred former smoothing through the
+// same spectral branch the uninterrupted step uses, landing within the
+// lagged-Ĉ bootstrap tolerance; the baseline — no deferred work — resumes
+// bitwise with the switch on.
+func TestSpectralResumeAppliesPendingSmoothing(t *testing.T) {
+	g := grid.New(48, 24, 8)
+	cfg := DefaultConfig()
+	cfg.M = 2
+	cfg.SpectralSmooth = true
+	hs := heldsuarez.Standard()
+	hook := func(g *grid.Grid, st *state.State, step int) { hs.Apply(g, st, cfg.Dt2) }
+	set := Setup{Alg: AlgCommAvoid, PA: 2, PB: 2, Cfg: cfg}
+
+	snaps := map[int]*checkpoint.Global{}
+	full, _ := RunWithOpts(set, g, comm.TianheLike(), heldsuarez.InitialState, 5, RunOpts{
+		Hook:          hook,
+		SnapshotEvery: 2,
+		Snapshot: func(done int, sts []*state.State) {
+			snaps[done] = checkpoint.Gather(g, sts)
+		},
+	})
+	if snaps[2] == nil {
+		t.Fatal("no snapshot at boundary 2")
+	}
+	resumed, _ := RunWithOpts(set, g, comm.TianheLike(), snaps[2].InitFunc(), 3, RunOpts{
+		Hook:   hook,
+		Resume: true,
+	})
+	if d := MaxDiffGlobal(g, full.Finals, resumed.Finals); d > 1e-6 {
+		t.Errorf("resumed spectral CA run deviates by %g, want <= 1e-6 (pending smoothing must be applied)", d)
+	}
+
+	bset := set
+	bset.Alg = AlgBaselineYZ
+	bsnaps := map[int]*checkpoint.Global{}
+	bfull, _ := RunWithOpts(bset, g, comm.TianheLike(), heldsuarez.InitialState, 4, RunOpts{
+		Hook:          hook,
+		SnapshotEvery: 2,
+		Snapshot: func(done int, sts []*state.State) {
+			bsnaps[done] = checkpoint.Gather(g, sts)
+		},
+	})
+	bres, _ := RunWithOpts(bset, g, comm.TianheLike(), bsnaps[2].InitFunc(), 2, RunOpts{
+		Hook:   hook,
+		Resume: true,
+	})
+	if d := MaxDiffGlobal(g, bfull.Finals, bres.Finals); d != 0 {
+		t.Errorf("baseline spectral resume deviates by %g, want bitwise", d)
+	}
+}

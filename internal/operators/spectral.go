@@ -1,0 +1,377 @@
+package operators
+
+import (
+	"math"
+
+	"cadycore/internal/fft"
+	"cadycore/internal/field"
+	"cadycore/internal/grid"
+	"cadycore/internal/state"
+)
+
+// SpectralSmoother is the spectral fast path for the x direction of S̃
+// (ROADMAP item 5, after Ahmad et al., "Fast Stencil Computations using
+// Fast Fourier Transforms"). The smoothing factorizes exactly:
+//
+//	P2 = P1x ∘ P1y
+//	P1x(φ)_i = φ_i − (β/16)·(δ⁴_λ φ)_i       (x only, periodic)
+//	P1y(φ)_j = Σ_d cy_d·φ_{j+d}               (the 5-point y stencil)
+//
+// which one can read off NewSmoother's coefficients: rowC1_d = cy_d and
+// rowC2_d = −(β/16)·cy_d, so every per-row contribution of P2 is P1x
+// applied to cy_d·φ_{j+d}. P1x is an x-circulant convolution, hence
+// diagonal in the zonal spectrum with the real symbol
+//
+//	σ(θ_k) = 1 − (β/16)·(2 − 2cosθ_k)²,  θ_k = 2πk/n,
+//
+// and m repeated passes collapse into one multiplication by σ^m — one
+// fft.RealPlan round trip per row instead of m stencil sweeps. The y/z
+// coupling stays in the stencil path (P1y is evaluated point-wise exactly
+// like P2Former/P2Latter, including the pole ghost-row reads), so the
+// spectral path changes only how the x convolution is evaluated.
+//
+// The footprint is x-circulant only when the transformed row spans the
+// full zonal circle: callers fall back to the stencil reference whenever
+// the rect does not cover [0, Nx) (boundary slabs of an x-decomposed
+// run) — CanApply reports this. A SpectralSmoother owns its plan and
+// scratch (integrator arena) and, like filter.Filter, is NOT safe for
+// concurrent use.
+type SpectralSmoother struct {
+	g    *grid.Grid
+	sten *Smoother
+	rp   *fft.RealPlan
+
+	// cy[d+2]: the P1y row coefficients, cy_d = −(β/16)·w_d (+1 at d = 0).
+	cy [5]float64
+	// pow caches σ^m on the half spectrum per power m (the "compose once
+	// per (β, m) pair" table). Powers are materialized at construction /
+	// first request, never on the hot path.
+	pow map[int][]float64
+
+	spec    []complex128
+	scratch []complex128
+	rowBuf  []float64
+}
+
+// SmoothWork is the work accounting of one spectral smoothing call, split
+// by cost class so the simulated clock can price each part: Sten counts
+// points smoothed through the stencil fallback (full S̃ rate), YPts counts
+// points that ran only the y-coupling stencil, and Rows counts x-rows sent
+// through the FFT round trip (nx·log₂nx equivalents, the filter-row rate).
+type SmoothWork struct {
+	Sten int
+	YPts int
+	Rows int
+}
+
+// Add accumulates another call's work.
+func (w *SmoothWork) Add(o SmoothWork) {
+	w.Sten += o.Sten
+	w.YPts += o.YPts
+	w.Rows += o.Rows
+}
+
+// NewSpectralSmoother builds the spectral fast path over the stencil
+// smoother sten (the fallback and the coefficient source). The power-1
+// symbol is composed eagerly; further powers are cached on first request.
+func NewSpectralSmoother(g *grid.Grid, sten *Smoother) *SpectralSmoother {
+	rp := fft.NewRealPlan(g.Nx)
+	s := &SpectralSmoother{
+		g:       g,
+		sten:    sten,
+		rp:      rp,
+		pow:     make(map[int][]float64, 4),
+		spec:    make([]complex128, rp.SpecLen()),
+		scratch: make([]complex128, rp.ScratchLen()),
+		rowBuf:  make([]float64, g.Nx),
+	}
+	w := [5]float64{1, -4, 6, -4, 1}
+	b16 := sten.Beta() / 16
+	for d := -2; d <= 2; d++ {
+		s.cy[d+2] = -b16 * w[d+2]
+	}
+	s.cy[2] += 1
+	s.Symbol(1)
+	return s
+}
+
+// Stencil returns the stencil smoother the spectral path falls back to.
+func (s *SpectralSmoother) Stencil() *Smoother { return s.sten }
+
+// Symbol returns σ^m on the half spectrum (σ the P1x symbol), composing
+// and caching it on first request. m must be ≥ 1. The returned slice is
+// shared — callers must not modify it.
+func (s *SpectralSmoother) Symbol(m int) []float64 {
+	if m < 1 {
+		panic("operators: spectral symbol power must be >= 1")
+	}
+	if sig, ok := s.pow[m]; ok {
+		return sig
+	}
+	n := s.g.Nx
+	b16 := s.sten.Beta() / 16
+	sig := make([]float64, s.rp.SpecLen())
+	for k := range sig {
+		c := 2 - 2*math.Cos(2*math.Pi*float64(k)/float64(n))
+		sig[k] = math.Pow(1-b16*c*c, float64(m))
+	}
+	s.pow[m] = sig
+	return sig
+}
+
+// CanApply reports whether rect r has the x-circulant footprint the
+// spectral path requires: rows spanning the full zonal circle.
+func (s *SpectralSmoother) CanApply(r field.Rect) bool {
+	return r.I0 == 0 && r.I1 == s.g.Nx
+}
+
+// xform multiplies row[xo : xo+nx] by sig in the zonal spectrum, in place.
+//
+//cadyvet:allocfree
+func (s *SpectralSmoother) xform(row []float64, xo int, sig []float64) {
+	src := row[xo : xo+s.g.Nx]
+	s.rp.Forward(src, s.spec, s.scratch)
+	for k, v := range sig {
+		s.spec[k] = s.spec[k] * complex(v, 0)
+	}
+	s.rp.Inverse(s.spec, src, s.scratch)
+}
+
+// P1Power applies P1x^m (the x-only smoothing composed to the m-th power)
+// of in into out over rect r: one FFT round trip per row against σ^m.
+// Falls back to m stencil passes when the rect is not x-circulant (then
+// out additionally needs x-ghosts valid on r expanded by 2m).
+//
+//cadyvet:allocfree m must be a power materialized by Symbol before the hot loop
+func (s *SpectralSmoother) P1Power(in, out *field.F3, r field.Rect, m int) SmoothWork {
+	if !s.CanApply(r) {
+		if m != 1 {
+			// The stencil fallback cannot run P1 in place; the integrators
+			// only ever need single passes outside the circulant footprint.
+			panic("operators: spectral P1Power fallback supports m = 1 only")
+		}
+		return SmoothWork{Sten: s.sten.P1Field(in, out, r)}
+	}
+	sig := s.pow[m]
+	if sig == nil {
+		//cadyvet:allow first-request symbol composition; steady-state calls hit the power cache
+		sig = s.Symbol(m)
+	}
+	xo := in.XOff(0)
+	rows := 0
+	for k := r.K0; k < r.K1; k++ {
+		for j := r.J0; j < r.J1; j++ {
+			src := in.Row(j, k)[xo : xo+s.g.Nx]
+			dst := out.Row(j, k)[xo : xo+s.g.Nx]
+			s.rp.Forward(src, s.spec, s.scratch)
+			for q, v := range sig {
+				s.spec[q] = s.spec[q] * complex(v, 0)
+			}
+			s.rp.Inverse(s.spec, dst, s.scratch)
+			rows++
+		}
+	}
+	return SmoothWork{Rows: rows}
+}
+
+// P2Former is the spectral counterpart of Smoother.P2Former: the windowed
+// P1y sum of in into out (the same contiguous d-range, ascending order and
+// ghost-row reads as the stencil path), then P1x applied spectrally to the
+// out rows in place. By linearity of P1x the former/latter split stays
+// exact. Falls back to the stencil when r is not x-circulant.
+//
+//cadyvet:allocfree
+func (s *SpectralSmoother) P2Former(in, out *field.F3, r field.Rect, avail AvailFunc) SmoothWork {
+	if !s.CanApply(r) {
+		return SmoothWork{Sten: s.sten.P2Former(in, out, r, avail)}
+	}
+	sig := s.pow[1]
+	xo := in.XOff(0)
+	nx := s.g.Nx
+	var rows [5][]float64
+	wk := SmoothWork{}
+	for k := r.K0; k < r.K1; k++ {
+		for j := r.J0; j < r.J1; j++ {
+			//cadyvet:allow AvailFunc implementations are index arithmetic over captured scalars (FullAvail, CommAvoid.availY); callers pass pre-bound func values
+			lo, hi := avail(j)
+			dLo, dHi := clampD(lo-j, hi-1-j)
+			for d := dLo; d <= dHi; d++ {
+				rows[d+2] = in.Row(j+d, k)
+			}
+			dst := out.Row(j, k)
+			for i := r.I0; i < r.I1; i++ {
+				o := i + xo
+				acc := 0.0
+				for d := dLo; d <= dHi; d++ {
+					acc += s.cy[d+2] * rows[d+2][o]
+				}
+				dst[o] = acc
+			}
+			s.xform(dst, xo, sig)
+			wk.YPts += nx
+			wk.Rows++
+		}
+	}
+	return wk
+}
+
+// P2Latter completes a spectral P2Former: the out-of-window P1y sum of
+// orig into the row buffer, one FFT round trip, then added to cur.
+//
+//cadyvet:allocfree
+func (s *SpectralSmoother) P2Latter(orig, cur *field.F3, r field.Rect, avail AvailFunc) SmoothWork {
+	if !s.CanApply(r) {
+		return SmoothWork{Sten: s.sten.P2Latter(orig, cur, r, avail)}
+	}
+	sig := s.pow[1]
+	xo := orig.XOff(0)
+	nx := s.g.Nx
+	var rows [5][]float64
+	wk := SmoothWork{}
+	for k := r.K0; k < r.K1; k++ {
+		for j := r.J0; j < r.J1; j++ {
+			//cadyvet:allow AvailFunc implementations are index arithmetic over captured scalars (FullAvail, CommAvoid.availY); callers pass pre-bound func values
+			lo, hi := avail(j)
+			if j-2 >= lo && j+2 < hi {
+				continue
+			}
+			aHi := lo - j - 1
+			if aHi > 2 {
+				aHi = 2
+			}
+			bLo := hi - j
+			if bLo < -2 {
+				bLo = -2
+			}
+			for d := -2; d <= aHi; d++ {
+				rows[d+2] = orig.Row(j+d, k)
+			}
+			for d := bLo; d <= 2; d++ {
+				rows[d+2] = orig.Row(j+d, k)
+			}
+			buf := s.rowBuf
+			for i := r.I0; i < r.I1; i++ {
+				o := i + xo
+				acc := 0.0
+				for d := -2; d <= aHi; d++ {
+					acc += s.cy[d+2] * rows[d+2][o]
+				}
+				for d := bLo; d <= 2; d++ {
+					acc += s.cy[d+2] * rows[d+2][o]
+				}
+				buf[i] = acc
+			}
+			s.xform(buf, 0, sig)
+			dst := cur.Row(j, k)
+			for i := r.I0; i < r.I1; i++ {
+				dst[i+xo] += buf[i]
+			}
+			wk.YPts += nx
+			wk.Rows++
+		}
+	}
+	return wk
+}
+
+// P2Former2 / P2Latter2 are the 2-D (p'_sa) counterparts.
+//
+//cadyvet:allocfree
+func (s *SpectralSmoother) P2Former2(in, out *field.F2, r field.Rect, avail AvailFunc) SmoothWork {
+	if !s.CanApply(r) {
+		return SmoothWork{Sten: s.sten.P2Former2(in, out, r, avail)}
+	}
+	sig := s.pow[1]
+	r = r.Flat2D()
+	xo := in.XOff(0)
+	nx := s.g.Nx
+	var rows [5][]float64
+	wk := SmoothWork{}
+	for j := r.J0; j < r.J1; j++ {
+		//cadyvet:allow AvailFunc implementations are index arithmetic over captured scalars (FullAvail, CommAvoid.availY); callers pass pre-bound func values
+		lo, hi := avail(j)
+		dLo, dHi := clampD(lo-j, hi-1-j)
+		for d := dLo; d <= dHi; d++ {
+			rows[d+2] = in.Row(j + d)
+		}
+		dst := out.Row(j)
+		for i := r.I0; i < r.I1; i++ {
+			o := i + xo
+			acc := 0.0
+			for d := dLo; d <= dHi; d++ {
+				acc += s.cy[d+2] * rows[d+2][o]
+			}
+			dst[o] = acc
+		}
+		s.xform(dst, xo, sig)
+		wk.YPts += nx
+		wk.Rows++
+	}
+	return wk
+}
+
+//cadyvet:allocfree
+func (s *SpectralSmoother) P2Latter2(orig, cur *field.F2, r field.Rect, avail AvailFunc) SmoothWork {
+	if !s.CanApply(r) {
+		return SmoothWork{Sten: s.sten.P2Latter2(orig, cur, r, avail)}
+	}
+	sig := s.pow[1]
+	r = r.Flat2D()
+	xo := orig.XOff(0)
+	nx := s.g.Nx
+	var rows [5][]float64
+	wk := SmoothWork{}
+	for j := r.J0; j < r.J1; j++ {
+		//cadyvet:allow AvailFunc implementations are index arithmetic over captured scalars (FullAvail, CommAvoid.availY); callers pass pre-bound func values
+		lo, hi := avail(j)
+		if j-2 >= lo && j+2 < hi {
+			continue
+		}
+		aHi := lo - j - 1
+		if aHi > 2 {
+			aHi = 2
+		}
+		bLo := hi - j
+		if bLo < -2 {
+			bLo = -2
+		}
+		for d := -2; d <= aHi; d++ {
+			rows[d+2] = orig.Row(j + d)
+		}
+		for d := bLo; d <= 2; d++ {
+			rows[d+2] = orig.Row(j + d)
+		}
+		buf := s.rowBuf
+		for i := r.I0; i < r.I1; i++ {
+			o := i + xo
+			acc := 0.0
+			for d := -2; d <= aHi; d++ {
+				acc += s.cy[d+2] * rows[d+2][o]
+			}
+			for d := bLo; d <= 2; d++ {
+				acc += s.cy[d+2] * rows[d+2][o]
+			}
+			buf[i] = acc
+		}
+		s.xform(buf, 0, sig)
+		dst := cur.Row(j)
+		for i := r.I0; i < r.I1; i++ {
+			dst[i+xo] += buf[i]
+		}
+		wk.YPts += nx
+		wk.Rows++
+	}
+	return wk
+}
+
+// SmoothFull applies the complete S̃ of in into out over rect r through the
+// spectral x path: P1x spectrally on U and V, P1y + spectral P1x on Φ and
+// p'_sa. The drop-in counterpart of Smoother.SmoothFull.
+//
+//cadyvet:allocfree
+func (s *SpectralSmoother) SmoothFull(in *state.State, out *state.State, r field.Rect) SmoothWork {
+	wk := s.P1Power(in.U, out.U, r, 1)
+	wk.Add(s.P1Power(in.V, out.V, r, 1))
+	wk.Add(s.P2Former(in.Phi, out.Phi, r, FullAvail))
+	wk.Add(s.P2Former2(in.Psa, out.Psa, r, FullAvail))
+	return wk
+}

@@ -1,0 +1,282 @@
+package operators
+
+import (
+	"math"
+	"testing"
+
+	"cadycore/internal/field"
+	"cadycore/internal/grid"
+	"cadycore/internal/state"
+)
+
+// relDiff is the normalized accuracy metric of the spectral-vs-stencil
+// pins: max|a−b| / max|b| over the owned rect.
+func relDiff(a, b *field.F3) float64 {
+	m := field.MaxAbsOwned(b)
+	if m == 0 {
+		m = 1
+	}
+	return field.MaxAbsDiffOwned(a, b) / m
+}
+
+func relDiff2(a, b *field.F2) float64 {
+	m := 0.0
+	r := b.B.Owned().Flat2D()
+	for j := r.J0; j < r.J1; j++ {
+		for i := r.I0; i < r.I1; i++ {
+			if v := math.Abs(b.At(i, j)); v > m {
+				m = v
+			}
+		}
+	}
+	if m == 0 {
+		m = 1
+	}
+	return field.MaxAbsDiffOwned2(a, b) / m
+}
+
+// stencilP1Passes applies m stencil P1 passes of u into a fresh field,
+// refreshing the periodic x ghosts between passes (the reference the
+// composed symbol is pinned against).
+func stencilP1Passes(smo *Smoother, u *field.F3, b field.Block, m int) *field.F3 {
+	cur := field.NewF3(b)
+	field.Copy(cur, u)
+	next := field.NewF3(b)
+	for p := 0; p < m; p++ {
+		cur.FillXPeriodic()
+		smo.P1Field(cur, next, b.Owned())
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// TestSpectralP1PowerMatchesStencilPerPassCount pins the composed symbol
+// σ^m against m explicit stencil passes at ≤1e-11 per pass count (the
+// tentpole accuracy claim), on even, odd (full-complex RealPlan fallback)
+// and non-power-of-two zonal extents.
+func TestSpectralP1PowerMatchesStencilPerPassCount(t *testing.T) {
+	for _, nx := range []int{16, 15, 12} {
+		g := grid.New(nx, 10, 6)
+		b := serialBlock(g)
+		st := smoothState(g, b)
+		smo := NewSmoother(g, 1.0)
+		spe := NewSpectralSmoother(g, smo)
+		for _, m := range []int{1, 2, 3, 9} {
+			ref := stencilP1Passes(smo, st.U, b, m)
+			out := field.NewF3(b)
+			wk := spe.P1Power(st.U, out, b.Owned(), m)
+			if wk.Rows == 0 {
+				t.Fatalf("nx=%d m=%d: spectral path did not engage", nx, m)
+			}
+			if d := relDiff(out, ref); d > 1e-11 {
+				t.Errorf("nx=%d m=%d: spectral P1^m differs from %d stencil passes by %g (pin 1e-11)", nx, m, m, d)
+			}
+		}
+	}
+}
+
+// TestSpectralP2FormerLatterMatchesStencil pins the spectral former/latter
+// split (windowed P1y + spectral P1x) against the stencil P2Former+P2Latter
+// at ≤1e-11, both with the full window and an artificial mid-domain split.
+func TestSpectralP2FormerLatterMatchesStencil(t *testing.T) {
+	g := probeGrid()
+	b := serialBlock(g)
+	st := smoothState(g, b)
+	smo := NewSmoother(g, 1.0)
+	spe := NewSpectralSmoother(g, smo)
+
+	for name, avail := range map[string]AvailFunc{
+		"full":  FullAvail,
+		"split": func(j int) (int, int) { return 3, 8 },
+	} {
+		ref := field.NewF3(b)
+		smo.P2Former(st.Phi, ref, b.Owned(), avail)
+		smo.P2Latter(st.Phi, ref, b.Owned(), avail)
+
+		out := field.NewF3(b)
+		wk := spe.P2Former(st.Phi, out, b.Owned(), avail)
+		wk.Add(spe.P2Latter(st.Phi, out, b.Owned(), avail))
+		if wk.Rows == 0 {
+			t.Fatalf("%s: spectral path did not engage", name)
+		}
+		if d := relDiff(out, ref); d > 1e-11 {
+			t.Errorf("%s window: spectral P2 differs from stencil by %g (pin 1e-11)", name, d)
+		}
+	}
+
+	// 2-D (p'_sa) counterparts.
+	window := func(j int) (int, int) { return 3, 8 }
+	ref2 := field.NewF2(b)
+	smo.P2Former2(st.Psa, ref2, b.Owned(), window)
+	smo.P2Latter2(st.Psa, ref2, b.Owned(), window)
+	out2 := field.NewF2(b)
+	spe.P2Former2(st.Psa, out2, b.Owned(), window)
+	spe.P2Latter2(st.Psa, out2, b.Owned(), window)
+	if d := relDiff2(out2, ref2); d > 1e-11 {
+		t.Errorf("2-D spectral P2 differs from stencil by %g (pin 1e-11)", d)
+	}
+}
+
+// TestSpectralSmoothFullMatchesStencil pins the drop-in SmoothFull.
+func TestSpectralSmoothFullMatchesStencil(t *testing.T) {
+	g := probeGrid()
+	b := serialBlock(g)
+	st := smoothState(g, b)
+	smo := NewSmoother(g, 1.0)
+	spe := NewSpectralSmoother(g, smo)
+	ref := state.New(b)
+	smo.SmoothFull(st, ref, b.Owned())
+	out := state.New(b)
+	spe.SmoothFull(st, out, b.Owned())
+	for name, d := range map[string]float64{
+		"U":   relDiff(out.U, ref.U),
+		"V":   relDiff(out.V, ref.V),
+		"Phi": relDiff(out.Phi, ref.Phi),
+		"Psa": relDiff2(out.Psa, ref.Psa),
+	} {
+		if d > 1e-11 {
+			t.Errorf("spectral SmoothFull %s differs from stencil by %g (pin 1e-11)", name, d)
+		}
+	}
+}
+
+// TestSpectralFallbackBitwise: a rect that does not span the zonal circle
+// has a non-circulant footprint; the spectral methods must hand it to the
+// stencil reference unchanged (bitwise).
+func TestSpectralFallbackBitwise(t *testing.T) {
+	g := probeGrid()
+	b := serialBlock(g)
+	st := smoothState(g, b)
+	smo := NewSmoother(g, 1.0)
+	spe := NewSpectralSmoother(g, smo)
+	r := b.Owned()
+	r.I1-- // partial x span
+	if spe.CanApply(r) {
+		t.Fatal("CanApply true on a partial-x rect")
+	}
+	ref := field.NewF3(b)
+	smo.P2Former(st.Phi, ref, r, FullAvail)
+	out := field.NewF3(b)
+	wk := spe.P2Former(st.Phi, out, r, FullAvail)
+	if wk.Rows != 0 || wk.Sten == 0 {
+		t.Fatalf("fallback accounting wrong: %+v", wk)
+	}
+	if d := field.MaxAbsDiffOwned(out, ref); d != 0 {
+		t.Errorf("stencil fallback differs from reference by %g (must be bitwise)", d)
+	}
+}
+
+// TestSpectralSymbolPreservesConstants: σ(0) = 1 for every power, so
+// constants pass through untouched (to rounding).
+func TestSpectralSymbolPreservesConstants(t *testing.T) {
+	g := probeGrid()
+	b := serialBlock(g)
+	u := field.NewF3(b)
+	for i := range u.Data {
+		u.Data[i] = 3.25
+	}
+	spe := NewSpectralSmoother(g, NewSmoother(g, 1.0))
+	for _, m := range []int{1, 9} {
+		if s0 := spe.Symbol(m)[0]; s0 != 1 {
+			t.Errorf("σ^%d(0) = %v, want exactly 1", m, s0)
+		}
+		out := field.NewF3(b)
+		spe.P1Power(u, out, b.Owned(), m)
+		r := b.Owned()
+		for k := r.K0; k < r.K1; k++ {
+			for j := r.J0; j < r.J1; j++ {
+				for i := r.I0; i < r.I1; i++ {
+					if math.Abs(out.At(i, j, k)-3.25) > 1e-11 {
+						t.Fatalf("P1^%d not identity on constants: %v", m, out.At(i, j, k))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpectralSymbolKillsNyquist: with β = 1 the Nyquist symbol value is
+// exactly 0, so the 2Δx wave is annihilated in one spectral pass.
+func TestSpectralSymbolKillsNyquist(t *testing.T) {
+	g := probeGrid() // nx = 16, even: the half spectrum has a Nyquist bin
+	b := serialBlock(g)
+	spe := NewSpectralSmoother(g, NewSmoother(g, 1.0))
+	sig := spe.Symbol(1)
+	if ny := sig[len(sig)-1]; ny != 0 {
+		t.Errorf("σ(π) = %v with β=1, want exactly 0", ny)
+	}
+	u := field.NewF3(b)
+	for k := -b.Hz; k < g.Nz+b.Hz; k++ {
+		for j := -b.Hy; j < g.Ny+b.Hy; j++ {
+			for i := -b.Hx; i < g.Nx+b.Hx; i++ {
+				v := 1.0
+				if ((i%2)+2)%2 == 1 {
+					v = -1
+				}
+				u.Set(i, j, k, v)
+			}
+		}
+	}
+	out := field.NewF3(b)
+	spe.P1Power(u, out, b.Owned(), 1)
+	if m := field.MaxAbsOwned(out); m > 1e-12 {
+		t.Errorf("β=1 spectral P1 left Nyquist amplitude %v", m)
+	}
+}
+
+// TestSpectralDampsMonotonically mirrors TestSmootherDampsMonotonically at
+// powers m ∈ {1, 9} (one pass, and the 3M composition at M = 3): no zonal
+// wave may be amplified, and the 9-fold damping must be at least the
+// single-pass damping.
+func TestSpectralDampsMonotonically(t *testing.T) {
+	g := probeGrid()
+	b := serialBlock(g)
+	spe := NewSpectralSmoother(g, NewSmoother(g, 1.0))
+	for m := 1; m <= g.Nx/2; m++ {
+		u := field.NewF3(b)
+		for k := -b.Hz; k < g.Nz+b.Hz; k++ {
+			for j := -b.Hy; j < g.Ny+b.Hy; j++ {
+				for i := -b.Hx; i < g.Nx+b.Hx; i++ {
+					u.Set(i, j, k, math.Sin(2*math.Pi*float64(m*((i+g.Nx)%g.Nx))/float64(g.Nx)))
+				}
+			}
+		}
+		before := field.MaxAbsOwned(u)
+		one := field.NewF3(b)
+		spe.P1Power(u, one, b.Owned(), 1)
+		after1 := field.MaxAbsOwned(one)
+		if after1 > before*(1+1e-12) {
+			t.Errorf("spectral P1 amplified wave m=%d: %v -> %v", m, before, after1)
+		}
+		nine := field.NewF3(b)
+		spe.P1Power(u, nine, b.Owned(), 9)
+		after9 := field.MaxAbsOwned(nine)
+		if after9 > after1*(1+1e-12) {
+			t.Errorf("spectral P1^9 damped less than P1 at wave m=%d: %v vs %v", m, after9, after1)
+		}
+	}
+}
+
+// TestSpectralZeroAlloc: the hot-path methods are //cadyvet:allocfree once
+// the symbol powers are materialized.
+func TestSpectralZeroAlloc(t *testing.T) {
+	g := probeGrid()
+	b := serialBlock(g)
+	st := smoothState(g, b)
+	smo := NewSmoother(g, 1.0)
+	spe := NewSpectralSmoother(g, smo)
+	spe.Symbol(3) // pre-materialize the power the loop uses
+	out := state.New(b)
+	r := b.Owned()
+	window := func(j int) (int, int) { return 3, 8 }
+	if n := testing.AllocsPerRun(20, func() {
+		spe.SmoothFull(st, out, r)
+		spe.P1Power(st.U, out.U, r, 3)
+		spe.P2Former(st.Phi, out.Phi, r, window)
+		spe.P2Latter(st.Phi, out.Phi, r, window)
+		spe.P2Former2(st.Psa, out.Psa, r, window)
+		spe.P2Latter2(st.Psa, out.Psa, r, window)
+	}); n != 0 {
+		t.Errorf("spectral smoothing allocated %v times per run, want 0", n)
+	}
+}

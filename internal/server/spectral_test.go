@@ -1,0 +1,101 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cadycore/internal/tune"
+)
+
+// TestSpectralSpecValidation tables the spectral_smooth gate: accepted for
+// the full-zonal-circle algorithms, rejected where the switch cannot work
+// (alg "xy") or is planner-owned (layout "auto") or meaningless (figures).
+func TestSpectralSpecValidation(t *testing.T) {
+	spectral := func(alg string) JobSpec {
+		sp := smallSpec(2)
+		sp.Alg = alg
+		sp.SpectralSmooth = true
+		return sp
+	}
+	for _, alg := range []string{"ca", "yz", ""} {
+		sp := spectral(alg)
+		if err := sp.Normalize(); err != nil {
+			t.Errorf("alg %q + spectral_smooth: Normalize() = %v, want nil", alg, err)
+		}
+		if !sp.config().SpectralSmooth {
+			t.Errorf("alg %q: config() dropped SpectralSmooth", alg)
+		}
+	}
+	if sp := smallSpec(2); sp.config().SpectralSmooth {
+		t.Error("config() turned SpectralSmooth on without the spec asking")
+	}
+
+	autoSp := JobSpec{Layout: "auto", Procs: 4, Nx: 32, Ny: 16, Nz: 4, M: 2, Steps: 4, SpectralSmooth: true}
+	figSp := JobSpec{Kind: "figures", SpectralSmooth: true}
+	invalid := map[string]struct {
+		spec JobSpec
+		want string
+	}{
+		"xy alg":      {spectral("xy"), "zonal circles"},
+		"auto layout": {autoSp, "spectral_smooth"},
+		"figures job": {figSp, "run jobs"},
+	}
+	for name, tc := range invalid {
+		err := tc.spec.Normalize()
+		if err == nil {
+			t.Errorf("%s: Normalize() = nil, want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestSpectralPlannedLayoutValidates: a planner decision carrying the
+// spectral flag passes the borrowed explicit-layout gate on the CA scheme
+// and is rejected if the planner ever paired it with the XY scheme (the
+// enumeration never does; the gate is the backstop).
+func TestSpectralPlannedLayoutValidates(t *testing.T) {
+	auto := JobSpec{Layout: "auto", Procs: 4, Nx: 32, Ny: 16, Nz: 4, M: 2, Steps: 4}
+	if err := auto.Normalize(); err != nil {
+		t.Fatalf("auto spec invalid: %v", err)
+	}
+	ca := tune.Plan{Scheme: tune.SchemeCA, PA: 2, PB: 2, M: 2, Workers: 1, Spectral: true}
+	if err := validatePlanned(auto, ca); err != nil {
+		t.Errorf("planned CA spectral layout rejected: %v", err)
+	}
+	xy := tune.Plan{Scheme: tune.SchemeXY, PA: 2, PB: 2, M: 2, Workers: 1, Spectral: true}
+	if err := validatePlanned(auto, xy); err == nil {
+		t.Error("planned XY spectral layout accepted; the gate backstop is dead")
+	}
+}
+
+// TestSpectralJobRunsToCompletion is the service-level smoke: a run job
+// with spectral_smooth on completes with finite physics.
+func TestSpectralJobRunsToCompletion(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	sp := smallSpec(2)
+	sp.Alg = "ca"
+	sp.SpectralSmooth = true
+	resp := postJSON(t, ts, "/jobs", sp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+	done := waitState(t, s, st.ID, JCompleted)
+	if done.StepsDone != 2 {
+		t.Fatalf("StepsDone = %d, want 2", done.StepsDone)
+	}
+	if done.Diagnostics["all_finite"] != 1 {
+		t.Errorf("spectral run not finite: %v", done.Diagnostics)
+	}
+	if !done.Spec.SpectralSmooth {
+		t.Error("status spec lost the spectral_smooth flag")
+	}
+}

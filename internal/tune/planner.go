@@ -11,8 +11,8 @@ import (
 )
 
 // PlanVersion is bumped when the Plan schema changes; cached plans with
-// another version are ignored.
-const PlanVersion = 2
+// another version are ignored. Version 3 added the spectral-smoothing axis.
+const PlanVersion = 3
 
 // Plan is the planner's decision for one (mesh, procs, config, profile)
 // request — everything needed to launch the run, plus the evidence.
@@ -29,6 +29,8 @@ type Plan struct {
 	// Stage is the staged-exchange halo depth for the CA scheme (0 = full
 	// depth M).
 	Stage int `json:"stage,omitempty"`
+	// Spectral turns on the composed-symbol spectral smoothing fast path.
+	Spectral bool `json:"spectral,omitempty"`
 	// RowStarts is the y-row partition (omitted = uniform).
 	RowStarts []int `json:"row_starts,omitempty"`
 	// HaloY, HaloZ record the halo depths the scheme implies (informational).
@@ -48,7 +50,7 @@ type Plan struct {
 
 // Candidate reconstructs the plan's search-space point.
 func (p Plan) Candidate() Candidate {
-	return Candidate{Scheme: p.Scheme, PA: p.PA, PB: p.PB, M: p.M, Workers: p.Workers, Stage: p.Stage, RowStarts: p.RowStarts}
+	return Candidate{Scheme: p.Scheme, PA: p.PA, PB: p.PB, M: p.M, Workers: p.Workers, Stage: p.Stage, Spectral: p.Spectral, RowStarts: p.RowStarts}
 }
 
 // Setup builds the dycore setup that executes the plan. The caller's config
@@ -63,6 +65,9 @@ func (p Plan) String() string {
 		p.Scheme, p.PA, p.PB, p.M, p.Workers, p.HaloY, p.HaloZ)
 	if p.Stage > 0 {
 		s += fmt.Sprintf(" stage=%d", p.Stage)
+	}
+	if p.Spectral {
+		s += " spectral"
 	}
 	if p.RowStarts != nil {
 		s += fmt.Sprintf(" rows=%v", p.RowStarts)
@@ -192,6 +197,7 @@ func planFrom(g *grid.Grid, procs int, e Estimate, prof Profile) Plan {
 		Procs:   procs,
 		Scheme:  c.Scheme, PA: c.PA, PB: c.PB, M: c.M, Workers: c.Workers,
 		Stage:         c.Stage,
+		Spectral:      c.Spectral,
 		RowStarts:     c.RowStarts,
 		HaloY:         hy,
 		HaloZ:         hz,

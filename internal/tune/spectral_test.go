@@ -1,0 +1,98 @@
+package tune
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cadycore/internal/grid"
+)
+
+// TestSpectralCandidatesEnumeratedAndPriced drives the spectral-smoothing
+// axis: the enumeration must offer spectral variants of every
+// full-zonal-circle scheme (and never of SchemeXY), the analytic model must
+// price them finitely and distinctly from their stencil twins, plans must
+// round-trip the flag, and NoSpectral must prune the axis.
+func TestSpectralCandidatesEnumeratedAndPriced(t *testing.T) {
+	g := grid.New(192, 96, 24)
+	prof := quickProfile()
+	cfg := planCfg()
+	cfg.M = 2
+
+	cands := Candidates(g, 8, cfg, prof, SearchOptions{MaxWorkers: 1})
+	bySch := map[Scheme]int{}
+	for _, c := range cands {
+		if !c.Spectral {
+			continue
+		}
+		if c.Scheme == SchemeXY {
+			t.Fatalf("spectral candidate %s under SchemeXY (p_x > 1, the switch is inert)", c.Key())
+		}
+		if !strings.HasSuffix(c.Key(), "-sp") && !strings.Contains(c.Key(), "-sp-") {
+			t.Fatalf("spectral candidate key %q lacks the -sp marker", c.Key())
+		}
+		bySch[c.Scheme]++
+	}
+	for _, sch := range []Scheme{SchemeCA, SchemeYZ} {
+		if bySch[sch] == 0 {
+			t.Errorf("no spectral candidate enumerated for scheme %s", sch)
+		}
+	}
+
+	// The axis must be priced, not aliased: a spectral candidate's estimate
+	// differs from its stencil twin's, and on this mesh (nx = 192 is below
+	// the crossover of the calibrated rates) the spectral one is cheaper.
+	cheaper := false
+	for _, c := range cands {
+		if !c.Spectral || c.RowStarts != nil {
+			continue
+		}
+		e := Evaluate(g, cfg, prof, c)
+		if math.IsNaN(e.Total) || math.IsInf(e.Total, 0) || e.Total <= 0 {
+			t.Fatalf("candidate %s priced at %g", c.Key(), e.Total)
+		}
+		sten := c
+		sten.Spectral = false
+		se := Evaluate(g, cfg, prof, sten)
+		if e.Comp >= se.Comp {
+			t.Errorf("spectral %s compute %g not below stencil twin's %g", c.Key(), e.Comp, se.Comp)
+		}
+		if e.Total < se.Total {
+			cheaper = true
+		}
+		// The candidate's setup must actually carry the switch.
+		if !c.Setup(cfg).Cfg.SpectralSmooth {
+			t.Fatalf("candidate %s setup lost SpectralSmooth", c.Key())
+		}
+		if sten.Setup(cfg).Cfg.SpectralSmooth {
+			t.Fatalf("stencil candidate %s setup gained SpectralSmooth", sten.Key())
+		}
+	}
+	if !cheaper {
+		t.Error("no spectral candidate out-priced its stencil twin at nx=192; the axis is dead in the model")
+	}
+
+	// Plans round-trip the flag, and the printed form names it.
+	for _, c := range cands {
+		if c.Spectral && c.Scheme == SchemeCA && c.RowStarts == nil {
+			p := planFrom(g, 8, Evaluate(g, cfg, prof, c), prof)
+			if !p.Spectral {
+				t.Error("plan lost the spectral flag")
+			}
+			if got := p.Candidate(); got.Key() != c.Key() {
+				t.Errorf("plan round-trip changed the candidate: %s vs %s", got.Key(), c.Key())
+			}
+			if !strings.Contains(p.String(), "spectral") {
+				t.Errorf("plan string %q does not name the spectral switch", p.String())
+			}
+			break
+		}
+	}
+
+	// NoSpectral prunes the axis completely.
+	for _, c := range Candidates(g, 8, cfg, prof, SearchOptions{MaxWorkers: 1, NoSpectral: true}) {
+		if c.Spectral {
+			t.Fatalf("NoSpectral enumeration produced spectral candidate %s", c.Key())
+		}
+	}
+}
